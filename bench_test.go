@@ -1,0 +1,177 @@
+package resonance
+
+// One benchmark per paper table and figure (the regeneration targets the
+// DESIGN.md experiment index references), plus micro-benchmarks of the
+// substrates and the integrator ablation. The experiment benchmarks use a
+// reduced per-application instruction budget so `go test -bench=.`
+// completes in minutes; use cmd/experiments for full-budget runs.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// benchOpts is the reduced budget for whole-suite experiment benchmarks.
+var benchOpts = Options{Instructions: 60_000}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := RunExperiment(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Text == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkFig1cImpedance regenerates Figure 1(c).
+func BenchmarkFig1cImpedance(b *testing.B) { benchExperiment(b, "fig1c") }
+
+// BenchmarkFig3Stimulation regenerates Figure 3.
+func BenchmarkFig3Stimulation(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Parser regenerates Figure 4.
+func BenchmarkFig4Parser(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Figure 4 needs enough instructions to catch a violation.
+		if _, err := RunExperiment("fig4", Options{Instructions: 300_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Classification regenerates Table 2.
+func BenchmarkTable2Classification(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3ResonanceTuning regenerates Table 3.
+func BenchmarkTable3ResonanceTuning(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4VoltageControl regenerates Table 4.
+func BenchmarkTable4VoltageControl(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkTable5Damping regenerates Table 5.
+func BenchmarkTable5Damping(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkFig5Comparison regenerates Figure 5.
+func BenchmarkFig5Comparison(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkAblations runs the design-choice ablation suite.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkCircuitStepHeun measures one Heun integration step.
+func BenchmarkCircuitStepHeun(b *testing.B) {
+	s := circuit.NewSimulator(circuit.Table1(), 70)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Step(70 + float64(i%30))
+	}
+}
+
+// BenchmarkCircuitStepEuler measures one forward-Euler step (the
+// integrator ablation's cheaper, less accurate baseline).
+func BenchmarkCircuitStepEuler(b *testing.B) {
+	s := circuit.NewSimulatorMethod(circuit.Table1(), 70, circuit.Euler)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Step(70 + float64(i%30))
+	}
+}
+
+// BenchmarkDetectorStep measures one cycle of resonant-event detection
+// with the Table 1 band (19 half-period adders).
+func BenchmarkDetectorStep(b *testing.B) {
+	det := tuning.NewDetector(tuning.DetectorConfig{
+		HalfPeriodLo: 42, HalfPeriodHi: 60,
+		ThresholdAmps: 32, MaxRepetitionTolerance: 4,
+	})
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		det.Step(w.At(i))
+	}
+}
+
+// BenchmarkCoreStep measures one out-of-order pipeline cycle on a
+// steady instruction mix.
+func BenchmarkCoreStep(b *testing.B) {
+	app, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := cpu.New(cpu.DefaultConfig(), workload.NewGenerator(app.Params, math.MaxUint64>>1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Step(cpu.Unlimited)
+	}
+}
+
+// BenchmarkPowerStep measures one power-model accounting cycle.
+func BenchmarkPowerStep(b *testing.B) {
+	m := power.New(power.DefaultConfig(), cpu.DefaultConfig())
+	var act cpu.Activity
+	act.Fetched, act.Dispatched, act.Committed = 8, 8, 8
+	act.Issued[cpu.IntALU] = 6
+	act.IssuedTotal = 6
+	act.L1D = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Step(act, 0)
+	}
+}
+
+// BenchmarkSimCycle measures one fully coupled system cycle
+// (core + power + supply + sensing + resonance tuning).
+func BenchmarkSimCycle(b *testing.B) {
+	app, err := workload.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(app.Params, math.MaxUint64>>1)
+	tech := sim.NewResonanceTuning(DefaultTuningConfig(100))
+	s, err := sim.New(sim.DefaultConfig(), gen, tech)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.StepCycle()
+	}
+}
+
+// BenchmarkCalibration measures the full Section 2.1.3 supply
+// calibration.
+func BenchmarkCalibration(b *testing.B) {
+	p := circuit.Table1()
+	for i := 0; i < b.N; i++ {
+		if _, err := circuit.Calibrate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures instruction-stream generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	app, err := workload.ByName("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := workload.NewGenerator(app.Params, math.MaxUint64>>1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}

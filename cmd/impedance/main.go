@@ -1,0 +1,133 @@
+// Command impedance characterises a power-distribution network: derived
+// resonance parameters, the Section 2.1.3 calibration, and an impedance
+// sweep as CSV.
+//
+// Usage:
+//
+//	impedance                      # Table 1 supply
+//	impedance -preset section2
+//	impedance -r 375e-6 -l 1.69e-12 -c 1.5e-6 -vdd 1.0 -clock 10e9
+//	impedance -sweep sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "table1", "supply preset: table1, section2, or twostage")
+		r      = flag.Float64("r", 0, "supply impedance R in ohms (overrides preset)")
+		l      = flag.Float64("l", 0, "connection inductance L in henries")
+		c      = flag.Float64("c", 0, "on-die decoupling capacitance C in farads")
+		vdd    = flag.Float64("vdd", 0, "supply voltage in volts")
+		clock  = flag.Float64("clock", 0, "clock frequency in hertz")
+		sweep  = flag.String("sweep", "", "write impedance sweep CSV to this file")
+		calib  = flag.Bool("calibrate", true, "run the Section 2.1.3 calibration")
+	)
+	flag.Parse()
+
+	if *preset == "twostage" {
+		reportTwoStage(*sweep)
+		return
+	}
+
+	var p resonance.SupplyParams
+	switch *preset {
+	case "table1":
+		p = resonance.Table1Supply()
+	case "section2":
+		p = resonance.Section2Supply()
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
+	if *r > 0 {
+		p.R = *r
+	}
+	if *l > 0 {
+		p.L = *l
+	}
+	if *c > 0 {
+		p.C = *c
+	}
+	if *vdd > 0 {
+		p.Vdd = *vdd
+	}
+	if *clock > 0 {
+		p.ClockHz = *clock
+	}
+
+	chars, err := p.Characterize()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("R = %.4g Ω, L = %.4g H, C = %.4g F, Vdd = %g V, clock = %.4g Hz\n",
+		p.R, p.L, p.C, p.Vdd, p.ClockHz)
+	fmt.Printf("resonant frequency: %.2f MHz (%.1f cycles)\n",
+		chars.ResonantFrequencyHz/1e6, chars.ResonantPeriodCycles)
+	fmt.Printf("quality factor Q:   %.2f\n", chars.Q)
+	fmt.Printf("resonance band:     %.1f-%.1f MHz (%d-%d cycles)\n",
+		chars.BandHz.Lo/1e6, chars.BandHz.Hi/1e6, chars.BandCycles.Lo, chars.BandCycles.Hi)
+	fmt.Printf("dissipation:        %.0f%% per resonant period\n", chars.DissipationPerPeriod*100)
+	fmt.Printf("noise margin:       ±%.0f mV\n", chars.NoiseMarginVolts*1000)
+	fmt.Printf("peak impedance:     %.3f mΩ\n", p.Impedance(chars.ResonantFrequencyHz)*1000)
+
+	if *calib {
+		cal, err := resonance.CalibrateSupply(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resonant current variation threshold: %g A\n", cal.ThresholdAmps)
+		fmt.Printf("band-edge tolerance:                   %g A\n", cal.BandEdgeToleranceAmps)
+		fmt.Printf("maximum repetition tolerance:          %d half waves\n", cal.MaxRepetitionTolerance)
+	}
+
+	if *sweep != "" {
+		f, err := os.Create(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "frequency_mhz,impedance_mohm")
+		f0 := chars.ResonantFrequencyHz
+		for _, pt := range p.ImpedanceSweep(0.2*f0, 2*f0, 361) {
+			fmt.Fprintf(f, "%.3f,%.5f\n", pt.FrequencyHz/1e6, pt.Ohms*1000)
+		}
+		fmt.Printf("sweep written to %s\n", *sweep)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "impedance:", err)
+	os.Exit(1)
+}
+
+// reportTwoStage characterises the Section 2.2 two-loop network with both
+// impedance peaks, optionally writing a log-spaced sweep CSV.
+func reportTwoStage(sweepPath string) {
+	p := resonance.TwoStageSupply()
+	low, med := p.Peaks()
+	fmt.Printf("two-stage network (Section 2.2)\n")
+	fmt.Printf("off-chip loop:  R1 = %.4g Ω, L1 = %.4g H, C1 = %.4g F\n", p.R1, p.L1, p.C1)
+	fmt.Printf("on-chip loop:   R2 = %.4g Ω, L2 = %.4g H, C2 = %.4g F\n", p.R2, p.L2, p.C2)
+	fmt.Printf("low-frequency peak:    %.3f mΩ at %.2f MHz (period ≈ %.0f cycles)\n",
+		low.Ohms*1e3, low.FrequencyHz/1e6, p.ClockHz/low.FrequencyHz)
+	fmt.Printf("medium-frequency peak: %.3f mΩ at %.2f MHz (period ≈ %.0f cycles)\n",
+		med.Ohms*1e3, med.FrequencyHz/1e6, p.ClockHz/med.FrequencyHz)
+	if sweepPath != "" {
+		f, err := os.Create(sweepPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "frequency_mhz,impedance_mohm")
+		for _, pt := range p.ImpedanceSweep(0.5e6, 1e9, 600) {
+			fmt.Fprintf(f, "%.4f,%.5f\n", pt.FrequencyHz/1e6, pt.Ohms*1000)
+		}
+		fmt.Printf("sweep written to %s\n", sweepPath)
+	}
+}

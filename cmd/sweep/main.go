@@ -1,0 +1,99 @@
+// Command sweep explores the resonance-tuning design space on a chosen
+// set of applications: a grid over initial response time, initial
+// response threshold, and second-level hold, reporting slowdown,
+// energy-delay, and residual violations per point as CSV.
+//
+// Usage:
+//
+//	sweep                                   # default grid on the heavy violators
+//	sweep -apps lucas,swim -insts 500000
+//	sweep -initial 50,100,200 -threshold 1,2 -o grid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		appsFlag  = flag.String("apps", "lucas,swim,bzip,parser", "comma-separated application names")
+		insts     = flag.Uint64("insts", 300_000, "instructions per run")
+		initials  = flag.String("initial", "75,100,150,200", "initial response times (cycles)")
+		thresh    = flag.String("threshold", "1,2", "initial response thresholds (event count)")
+		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
+		out       = flag.String("o", "", "write CSV to this file instead of stdout")
+	)
+	flag.Parse()
+
+	apps := strings.Split(*appsFlag, ",")
+	initialList := parseInts(*initials)
+	threshList := parseInts(*thresh)
+	secondList := parseInts(*secondMin)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "app,initial_cycles,initial_threshold,second_cycles,slowdown,rel_energy,rel_energy_delay,base_violations,violations")
+
+	for _, app := range apps {
+		app = strings.TrimSpace(app)
+		base, err := resonance.Simulate(resonance.SimulationSpec{App: app, Instructions: *insts})
+		if err != nil {
+			fatal(err)
+		}
+		for _, initial := range initialList {
+			for _, th := range threshList {
+				for _, second := range secondList {
+					cfg := resonance.DefaultTuningConfig(initial)
+					cfg.InitialResponseThreshold = th
+					if cfg.SecondResponseThreshold <= th {
+						cfg.SecondResponseThreshold = th + 1
+					}
+					cfg.SecondResponseCycles = second
+					res, err := resonance.Simulate(resonance.SimulationSpec{
+						App: app, Instructions: *insts,
+						Technique: resonance.TechniqueTuning, Tuning: &cfg,
+					})
+					if err != nil {
+						fatal(err)
+					}
+					slow := float64(res.Cycles) / float64(base.Cycles)
+					energy := res.EnergyJ / base.EnergyJ
+					fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d\n",
+						app, initial, th, second, slow, energy, slow*energy,
+						base.Violations, res.Violations)
+				}
+			}
+		}
+	}
+}
+
+// parseInts splits a comma-separated integer list.
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad integer %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

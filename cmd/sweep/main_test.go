@@ -1,0 +1,17 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("75, 100,200")
+	want := []int{75, 100, 200}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseInts = %v, want %v", got, want)
+	}
+	if got := parseInts("42"); !reflect.DeepEqual(got, []int{42}) {
+		t.Errorf("single value = %v", got)
+	}
+}

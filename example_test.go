@@ -1,0 +1,79 @@
+package resonance_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Characterise the paper's Table 1 power supply: resonant frequency,
+// quality factor, and the resonance band that resonance tuning targets.
+func ExampleTable1Supply() {
+	p := resonance.Table1Supply()
+	chars, err := p.Characterize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f0 = %.0f MHz\n", chars.ResonantFrequencyHz/1e6)
+	fmt.Printf("Q = %.2f\n", chars.Q)
+	fmt.Printf("band = %d-%d cycles\n", chars.BandCycles.Lo, chars.BandCycles.Hi)
+	// Output:
+	// f0 = 100 MHz
+	// Q = 2.83
+	// band = 84-119 cycles
+}
+
+// Run the Section 2.1.3 calibration on the paper's worked example; the
+// results match the paper's own numbers exactly.
+func ExampleCalibrateSupply() {
+	cal, err := resonance.CalibrateSupply(resonance.Section2Supply())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("threshold = %g A\n", cal.ThresholdAmps)
+	fmt.Printf("band-edge tolerance = %g A\n", cal.BandEdgeToleranceAmps)
+	fmt.Printf("max repetition tolerance = %d\n", cal.MaxRepetitionTolerance)
+	// Output:
+	// threshold = 10 A
+	// band-edge tolerance = 13 A
+	// max repetition tolerance = 6
+}
+
+// Simulate one application on the base machine and under resonance
+// tuning, the core before/after comparison of the paper.
+func ExampleSimulate() {
+	base, err := resonance.Simulate(resonance.SimulationSpec{
+		App: "lucas", Instructions: 200_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	tuned, err := resonance.Simulate(resonance.SimulationSpec{
+		App: "lucas", Instructions: 200_000,
+		Technique: resonance.TechniqueTuning,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("base violations > 0: %v\n", base.Violations > 0)
+	fmt.Printf("tuning removes ≥90%%: %v\n",
+		float64(tuned.Violations) <= 0.1*float64(base.Violations))
+	fmt.Printf("slowdown under 10%%: %v\n",
+		float64(tuned.Cycles) < 1.10*float64(base.Cycles))
+	// Output:
+	// base violations > 0: true
+	// tuning removes ≥90%: true
+	// slowdown under 10%: true
+}
+
+// List the runnable paper experiments.
+func ExampleExperiments() {
+	for _, e := range resonance.Experiments()[:4] {
+		fmt.Println(e.ID)
+	}
+	// Output:
+	// fig1c
+	// fig3
+	// fig4
+	// table2
+}

@@ -1,0 +1,68 @@
+// Power-supply design space: how the on-die decoupling capacitance and
+// supply impedance move the resonant frequency, quality factor, resonance
+// band, and — through the Section 2.1.3 calibration — the current
+// variations the supply can absorb.
+//
+// This is the designer's view behind the paper's Section 2: technology
+// scaling pushes R down and C up, keeping supplies underdamped; the
+// question is where the resonance lands and how much repetition the
+// supply tolerates before resonance tuning must intervene.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	base := resonance.Table1Supply()
+
+	fmt.Println("== sweep: on-die decoupling capacitance (R, L fixed) ==")
+	fmt.Println("C (nF)   f0 (MHz)  Q     band (cycles)  threshold (A)  tolerance")
+	for _, cNF := range []float64{500, 1000, 1500, 2250, 3000} {
+		p := base
+		p.C = cNF * 1e-9
+		describe(p, fmt.Sprintf("%-8.0f", cNF))
+	}
+
+	fmt.Println("\n== sweep: supply impedance R (C, L fixed) ==")
+	fmt.Println("R (µΩ)   f0 (MHz)  Q     band (cycles)  threshold (A)  tolerance")
+	for _, rMicro := range []float64{200, 375, 600, 900} {
+		p := base
+		p.R = rMicro * 1e-6
+		describe(p, fmt.Sprintf("%-8.0f", rMicro))
+	}
+
+	fmt.Println("\nreading the table: larger C lowers the resonant frequency (more")
+	fmt.Println("cycles per period — easier for an architectural technique to react),")
+	fmt.Println("while smaller R raises Q, narrowing the band but storing resonant")
+	fmt.Println("energy longer (higher repetition tolerance matters more).")
+}
+
+func describe(p resonance.SupplyParams, label string) {
+	chars, err := p.Characterize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cal, err := resonance.CalibrateSupply(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tol := "∞"
+	if cal.MaxRepetitionTolerance < math.MaxInt32 {
+		tol = fmt.Sprint(cal.MaxRepetitionTolerance)
+	}
+	thr := "safe"
+	if cal.ThresholdAmps < p.MaxCurrentSwing() {
+		thr = fmt.Sprintf("%.0f", cal.ThresholdAmps)
+	}
+	fmt.Printf("%s %-9.1f %-5.2f %3d-%-10d %-14s %s\n",
+		label,
+		chars.ResonantFrequencyHz/1e6,
+		chars.Q,
+		chars.BandCycles.Lo, chars.BandCycles.Hi,
+		thr, tol)
+}

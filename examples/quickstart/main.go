@@ -1,0 +1,63 @@
+// Quickstart: characterise the paper's Table 1 power supply, run one
+// SPEC2K application on the uncontrolled processor, then run it again
+// under resonance tuning and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. The power supply and its resonance characteristics.
+	supply := resonance.Table1Supply()
+	chars, err := supply.Characterize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 1 power supply:", chars)
+
+	// 2. Design-time calibration (Section 2.1.3 of the paper).
+	cal, err := resonance.CalibrateSupply(supply)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibration: threshold %g A, repetition tolerance %d\n\n",
+		cal.ThresholdAmps, cal.MaxRepetitionTolerance)
+
+	// 3. The uncontrolled machine: parser exhibits rare noise-margin
+	// violations when its phase behaviour drifts into the resonance
+	// band.
+	base, err := resonance.Simulate(resonance.SimulationSpec{
+		App:          "parser",
+		Instructions: 500_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base:   IPC %.2f, %d violations (%.2e of cycles), %.4g J\n",
+		base.IPC, base.Violations, base.ViolationFraction, base.EnergyJ)
+
+	// 4. The same run under resonance tuning.
+	tuned, err := resonance.Simulate(resonance.SimulationSpec{
+		App:          "parser",
+		Instructions: 500_000,
+		Technique:    resonance.TechniqueTuning,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning: IPC %.2f, %d violations (%.2e of cycles), %.4g J\n",
+		tuned.IPC, tuned.Violations, tuned.ViolationFraction, tuned.EnergyJ)
+
+	slow := float64(tuned.Cycles) / float64(base.Cycles)
+	energy := tuned.EnergyJ / base.EnergyJ
+	fmt.Printf("\nresonance tuning: %.1f%% slowdown, %.1f%% energy, %.1f%% energy-delay\n",
+		(slow-1)*100, (energy-1)*100, (slow*energy-1)*100)
+	if base.Violations > 0 {
+		prevented := 100 * (1 - float64(tuned.Violations)/float64(base.Violations))
+		fmt.Printf("violations prevented: %.0f%%\n", prevented)
+	}
+}

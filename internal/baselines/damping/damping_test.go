@@ -1,0 +1,178 @@
+package damping
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func cfg() Config { return Config{WindowCycles: 50, DeltaAmps: 32, Scale: 1} }
+
+func TestWarmupUnconstrained(t *testing.T) {
+	c := New(cfg())
+	for i := 0; i < 2*50; i++ {
+		if _, limited := c.Budget(); limited {
+			t.Fatalf("budget limited at warm-up cycle %d", i)
+		}
+		if ph := c.Account(12); ph != 0 {
+			t.Fatalf("phantom during warm-up cycle %d", i)
+		}
+	}
+	if _, limited := c.Budget(); !limited {
+		t.Error("budget still unlimited after warm-up")
+	}
+}
+
+func TestSteadyStreamUnconstrained(t *testing.T) {
+	c := New(cfg())
+	for i := 0; i < 1000; i++ {
+		amps, limited := c.Budget()
+		if limited && amps < 12 {
+			t.Fatalf("cycle %d: steady 12 A stream got budget %g", i, amps)
+		}
+		if ph := c.Account(12); ph != 0 {
+			t.Fatalf("cycle %d: phantom %g on a steady stream", i, ph)
+		}
+	}
+	if s := c.Stats(); s.ConstrainedCyc != 0 {
+		t.Errorf("steady stream reported %d constrained cycles", s.ConstrainedCyc)
+	}
+}
+
+func TestBurstIsClipped(t *testing.T) {
+	c := New(cfg())
+	// Quiet history at ~1 instruction per cycle (≈8 A footprint)...
+	for i := 0; i < 200; i++ {
+		c.Account(8)
+	}
+	// ...then the machine wants 6 instructions per cycle (≈48 A). The
+	// window bound (32·50 = 1600 A·cycles against a 400 A·cycle quiet
+	// window) must clip the ramp partway through the window.
+	sawClip := false
+	for i := 0; i < 50; i++ {
+		want := 48.0
+		if amps, limited := c.Budget(); limited && amps < want {
+			sawClip = true
+			want = math.Max(amps, 0)
+		}
+		c.Account(want)
+	}
+	if !sawClip {
+		t.Error("an 8→48 A burst was never budget-clipped")
+	}
+	if c.Stats().ConstrainedCyc == 0 {
+		t.Error("constrained cycles not counted")
+	}
+}
+
+func TestUndershootTriggersPhantom(t *testing.T) {
+	c := New(cfg())
+	for i := 0; i < 200; i++ {
+		c.Account(48)
+	}
+	// Current collapses to zero: damping must inject phantom current
+	// so the window does not fall more than the bound below the
+	// previous one.
+	totalPhantom := 0.0
+	for i := 0; i < 50; i++ {
+		totalPhantom += c.Account(0)
+	}
+	if totalPhantom == 0 {
+		t.Error("no phantom make-up for a 48→0 A collapse")
+	}
+	s := c.Stats()
+	if s.PhantomCycles == 0 || s.PhantomAmpTotal == 0 {
+		t.Errorf("phantom stats empty: %+v", s)
+	}
+}
+
+func TestTighterDeltaDampsHarder(t *testing.T) {
+	run := func(delta float64) (clipped uint64) {
+		c := New(Config{WindowCycles: 50, DeltaAmps: delta, Scale: 1})
+		r := rng.New(7)
+		for i := 0; i < 5000; i++ {
+			// Slow in-band-ish modulation of the machine's appetite
+			// plus jitter.
+			want := 28 + 20*math.Sin(2*math.Pi*float64(i)/100) + 4*r.Float64()
+			if amps, limited := c.Budget(); limited && amps < want {
+				want = math.Max(amps, 0)
+			}
+			c.Account(want)
+		}
+		return c.Stats().ConstrainedCyc
+	}
+	loose, tight := run(32), run(8)
+	if tight <= loose {
+		t.Errorf("δ=8 clipped %d cycles, δ=32 clipped %d; tighter δ should clip more", tight, loose)
+	}
+}
+
+// TestWindowInvariantAgainstBruteForce checks the rolling sums against a
+// naive recomputation on a random stream.
+func TestWindowInvariantAgainstBruteForce(t *testing.T) {
+	const w = 10
+	c := New(Config{WindowCycles: w, DeltaAmps: 5, Scale: 1})
+	r := rng.New(99)
+	var hist []float64
+	for i := 0; i < 500; i++ {
+		est := 10 * r.Float64()
+		// Compute expected bounds brute force before accounting.
+		if i >= 2*w {
+			recent := sum(hist[i-w+1 : i]) // cycles t-w+1 .. t-1
+			prev := sum(hist[i-2*w+1 : i-w+1])
+			wantHi := prev + 5*w - recent
+			gotHi, limited := c.Budget()
+			if !limited {
+				t.Fatalf("cycle %d: expected limited budget", i)
+			}
+			if wantHi < 0 {
+				wantHi = 0
+			}
+			if math.Abs(gotHi-wantHi) > 1e-9 {
+				t.Fatalf("cycle %d: budget %g, brute force %g", i, gotHi, wantHi)
+			}
+		}
+		ph := c.Account(est)
+		hist = append(hist, est+ph)
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{WindowCycles: 1, DeltaAmps: 32},
+		{WindowCycles: 50, DeltaAmps: 0},
+		{WindowCycles: 50, DeltaAmps: -1},
+		{WindowCycles: 50, DeltaAmps: 32, Scale: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := cfg().Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	// Scale zero defaults to 1.
+	a := Config{WindowCycles: 50, DeltaAmps: 32}
+	if a.boundAmpCycles() != 1600 {
+		t.Errorf("default-scale bound %g, want 1600", a.boundAmpCycles())
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,110 @@
+package wavelet
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	cfg := c.Config()
+	if len(cfg.Scales) != 2 || cfg.Scales[0] != 32 || cfg.Scales[1] != 64 {
+		t.Errorf("default scales %v", cfg.Scales)
+	}
+	if cfg.ThresholdAmpCycles != 8 || cfg.Repetitions != 2 || cfg.ResponseCycles != 100 {
+		t.Errorf("defaults %+v", cfg)
+	}
+}
+
+func TestDetectsResonantWave(t *testing.T) {
+	c := New(Config{})
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	responded := 0
+	for cyc := 0; cyc < 3000; cyc++ {
+		th := c.Step(w.At(cyc))
+		if th.IssueWidth == 4 {
+			responded++
+		}
+	}
+	if responded == 0 {
+		t.Error("no response to a 40 A resonant square")
+	}
+	st := c.Stats()
+	if st.Events == 0 || st.Responses == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.ResponseFraction() <= 0 {
+		t.Error("fraction empty")
+	}
+}
+
+func TestIgnoresConstantCurrent(t *testing.T) {
+	c := New(Config{})
+	for cyc := 0; cyc < 3000; cyc++ {
+		th := c.Step(85)
+		if th.IssueWidth != 0 {
+			t.Fatalf("cycle %d: responded to constant current", cyc)
+		}
+	}
+	if c.Stats().Events != 0 {
+		t.Errorf("events on constant current: %d", c.Stats().Events)
+	}
+}
+
+func TestIsolatedStepDoesNotTriggerResponse(t *testing.T) {
+	// A single transition produces events but no alternating chain, so
+	// with Repetitions 2 there is no response.
+	c := New(Config{})
+	for cyc := 0; cyc < 2000; cyc++ {
+		amps := 50.0
+		if cyc >= 1000 {
+			amps = 90
+		}
+		if th := c.Step(amps); th.IssueWidth == 4 {
+			t.Fatalf("cycle %d: responded to an isolated step", cyc)
+		}
+	}
+}
+
+func TestScaleMismatchMissesBandEdge(t *testing.T) {
+	// The dyadic-scale weakness the paper's framing implies: a wave at
+	// the upper band edge (119-cycle period, half-period ~60) sits
+	// between scales 32 and 64 less favourably than the resonant
+	// period; the detector still fires there, but a wave well outside
+	// any scale window (16-cycle period) must not trigger a response.
+	c := New(Config{})
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 16}
+	for cyc := 0; cyc < 4000; cyc++ {
+		if th := c.Step(w.At(cyc)); th.IssueWidth == 4 {
+			t.Fatalf("cycle %d: responded to a 16-cycle square", cyc)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Scales: []int{33}},
+		{Scales: []int{1}},
+		{ThresholdAmpCycles: -1},
+		{Repetitions: -1},
+		{ResponseCycles: -5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestStatsZero(t *testing.T) {
+	var s Stats
+	if s.ResponseFraction() != 0 {
+		t.Error("zero stats fraction")
+	}
+}

@@ -1,0 +1,100 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// This file collects the closed-form theory of the underdamped
+// second-order supply. The transient simulator is the source of truth for
+// experiments (it handles arbitrary waveforms); these expressions exist
+// to cross-check it, to explain the calibrated constants, and to give
+// designers quick estimates without running a simulation.
+
+// Alpha returns the neper frequency α = R/2L (the damping rate).
+func (p Params) Alpha() float64 { return p.DampingRateNepers() }
+
+// OmegaD returns the damped angular frequency ω_d = √(ω₀² − α²) of the
+// underdamped response, in radians per second. It returns 0 for circuits
+// that are not underdamped.
+func (p Params) OmegaD() float64 {
+	w0 := 2 * math.Pi / (2 * math.Pi * math.Sqrt(p.L*p.C)) // = 1/√(LC)
+	a := p.Alpha()
+	d := w0*w0 - a*a
+	if d <= 0 {
+		return 0
+	}
+	return math.Sqrt(d)
+}
+
+// StepResponse returns the analytic reported deviation (IR drop removed)
+// t seconds after the processor current steps by deltaI amps from DC
+// steady state:
+//
+//	x(t) = e^{−αt}(A·cos ω_d t + B·sin ω_d t)
+//	A = R·ΔI,  B = (−ΔI/C + α·A)/ω_d
+//
+// The transient simulator converges to this (see the integrator tests and
+// the Heun-vs-Euler ablation).
+func (p Params) StepResponse(deltaI, t float64) float64 {
+	alpha := p.Alpha()
+	wd := p.OmegaD()
+	if wd == 0 {
+		return 0
+	}
+	a := p.R * deltaI
+	b := (-deltaI/p.C + alpha*a) / wd
+	return math.Exp(-alpha*t) * (a*math.Cos(wd*t) + b*math.Sin(wd*t))
+}
+
+// zComplex returns the complex impedance seen by the current source.
+func (p Params) zComplex(f float64) complex128 {
+	w := 2 * math.Pi * f
+	if w == 0 {
+		return complex(p.R, 0)
+	}
+	zl := complex(p.R, w*p.L)
+	zc := complex(0, -1/(w*p.C))
+	return zl * zc / (zl + zc)
+}
+
+// ReportedAmplitude returns the steady-state amplitude, in volts, of the
+// *reported* deviation under a sustained sinusoidal current variation of
+// the given peak-to-peak amplitude at frequency f. Because the reported
+// deviation subtracts the instantaneous IR drop, the effective transfer
+// impedance is Z(jω) − R rather than Z(jω).
+func (p Params) ReportedAmplitude(f, peakToPeakAmps float64) float64 {
+	return peakToPeakAmps / 2 * cmplx.Abs(p.zComplex(f)-complex(p.R, 0))
+}
+
+// BuildupCycles estimates how many cycles a sustained sinusoidal
+// variation of the given peak-to-peak amplitude at the resonant frequency
+// needs to violate the noise margin, using the first-order envelope model
+// v(t) ≈ v_steady·(1 − e^{−αt}). It returns (0, false) if the steady-state
+// response never reaches the margin (the variation is sub-threshold).
+//
+// The envelope model underestimates early-time lag, so the transient
+// simulator's calibration (MaxRepetitionTolerance) typically reports one
+// or two more half waves than this estimate; the estimate's value is in
+// showing *why* there is a repetition tolerance at all.
+func (p Params) BuildupCycles(peakToPeakAmps float64) (cycles float64, violates bool) {
+	f0 := p.ResonantFrequency()
+	steady := p.ReportedAmplitude(f0, peakToPeakAmps)
+	margin := p.NoiseMarginVolts()
+	if steady <= margin {
+		return 0, false
+	}
+	t := -math.Log(1-margin/steady) / p.Alpha()
+	return t * p.ClockHz, true
+}
+
+// HalfWaveTolerance converts a buildup estimate into half waves at the
+// resonant frequency, the unit the paper counts repetition tolerance in.
+func (p Params) HalfWaveTolerance(peakToPeakAmps float64) (halfWaves int, violates bool) {
+	cycles, v := p.BuildupCycles(peakToPeakAmps)
+	if !v {
+		return 0, false
+	}
+	half := p.ResonantPeriodCycles() / 2
+	return int(cycles/half) + 1, true
+}

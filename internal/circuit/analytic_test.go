@@ -1,0 +1,114 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepResponseMatchesSimulator(t *testing.T) {
+	p := Table1()
+	sim := NewSimulator(p, 60)
+	dt := 1 / p.ClockHz
+	worst := 0.0
+	for c := 1; c <= 2500; c++ {
+		got := sim.Step(85)
+		want := p.StepResponse(25, float64(c)*dt)
+		if e := math.Abs(got - want); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.3e-3 {
+		t.Errorf("worst simulator-vs-analytic error %g V", worst)
+	}
+}
+
+func TestReportedAmplitudeMatchesSimulator(t *testing.T) {
+	p := Table1()
+	for _, fFrac := range []float64{0.7, 1.0, 1.3} {
+		f := p.ResonantFrequency() * fFrac
+		period := p.ClockHz / f
+		mid := (p.IMax + p.IMin) / 2
+		const pp = 18.0
+		sim := NewSimulator(p, mid)
+		w := Sine{Mid: mid, Amplitude: pp, PeriodCycles: period}
+		n := int(period)
+		for c := 0; c < 40*n; c++ {
+			sim.Step(w.At(c))
+		}
+		peak := 0.0
+		for c := 40 * n; c < 43*n; c++ {
+			if d := math.Abs(sim.Step(w.At(c))); d > peak {
+				peak = d
+			}
+		}
+		want := p.ReportedAmplitude(f, pp)
+		if math.Abs(peak-want)/want > 0.08 {
+			t.Errorf("f=%.2f·f0: simulated amplitude %g, analytic %g", fFrac, peak, want)
+		}
+	}
+}
+
+func TestReportedAmplitudePeaksAtResonance(t *testing.T) {
+	p := Table1()
+	f0 := p.ResonantFrequency()
+	at := func(f float64) float64 { return p.ReportedAmplitude(f, 30) }
+	if at(f0) <= at(f0*0.6) || at(f0) <= at(f0*1.6) {
+		t.Error("reported amplitude does not peak near resonance")
+	}
+}
+
+func TestBuildupCyclesConsistentWithCalibration(t *testing.T) {
+	p := Table1()
+	// Below the analytic threshold: never violates.
+	if _, v := p.BuildupCycles(20); v {
+		t.Error("20 A should be sub-threshold")
+	}
+	// Well above: violates within a handful of periods.
+	cycles, v := p.BuildupCycles(45)
+	if !v {
+		t.Fatal("45 A should violate")
+	}
+	if cycles < 20 || cycles > 600 {
+		t.Errorf("buildup %g cycles implausible", cycles)
+	}
+	// The analytic half-wave tolerance is within ±2 of the simulated
+	// calibration (4 for Table 1).
+	hw, v := p.HalfWaveTolerance(45)
+	if !v || hw < 2 || hw > 6 {
+		t.Errorf("analytic half-wave tolerance %d, simulated calibration is 4", hw)
+	}
+	// Bigger swings violate faster.
+	c70, _ := p.BuildupCycles(70)
+	if c70 >= cycles {
+		t.Errorf("70 A buildup (%g) not faster than 45 A (%g)", c70, cycles)
+	}
+}
+
+func TestAnalyticThresholdMatchesCalibratedThreshold(t *testing.T) {
+	// The smallest p-p amplitude whose steady-state reported response
+	// exceeds the margin is the analytic version of the resonant
+	// current variation threshold; it should be within a couple of amps
+	// of the simulated bisection (35 A for Table 1).
+	p := Table1()
+	f0 := p.ResonantFrequency()
+	margin := p.NoiseMarginVolts()
+	analytic := 2 * margin / (p.ReportedAmplitude(f0, 2))
+	sim, err := ResonantThreshold(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-sim) > 3 {
+		t.Errorf("analytic threshold %.1f A vs simulated %.0f A", analytic, sim)
+	}
+}
+
+func TestOmegaDZeroWhenOverdamped(t *testing.T) {
+	p := Table1()
+	p.R = 1.0
+	if p.OmegaD() != 0 {
+		t.Error("overdamped circuit reported a damped frequency")
+	}
+	if p.StepResponse(10, 1e-9) != 0 {
+		t.Error("overdamped step response should be 0 (unsupported)")
+	}
+}

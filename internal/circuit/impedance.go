@@ -1,0 +1,60 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Impedance returns the magnitude, in ohms, of the impedance the CPU
+// current source sees at frequency f hertz: the series R-L branch in
+// parallel with the on-die decoupling capacitance,
+//
+//	Z(ω) = (R + jωL) ∥ 1/(jωC).
+//
+// This is the quantity plotted in Figure 1(c); it peaks at the resonant
+// frequency.
+func (p Params) Impedance(f float64) float64 {
+	w := 2 * math.Pi * f
+	if w == 0 {
+		// At DC the capacitor is open and the source sees R. The
+		// IR-drop subtraction used everywhere else makes DC harmless,
+		// but the raw impedance is still R.
+		return p.R
+	}
+	zl := complex(p.R, w*p.L)
+	zc := complex(0, -1/(w*p.C))
+	return cmplx.Abs(zl * zc / (zl + zc))
+}
+
+// ImpedancePoint is one sample of an impedance sweep.
+type ImpedancePoint struct {
+	FrequencyHz float64
+	Ohms        float64
+}
+
+// ImpedanceSweep samples |Z(f)| at n evenly spaced frequencies across
+// [loHz, hiHz], inclusive of both endpoints. n must be at least 2.
+func (p Params) ImpedanceSweep(loHz, hiHz float64, n int) []ImpedancePoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]ImpedancePoint, n)
+	step := (hiHz - loHz) / float64(n-1)
+	for i := range pts {
+		f := loHz + float64(i)*step
+		pts[i] = ImpedancePoint{FrequencyHz: f, Ohms: p.Impedance(f)}
+	}
+	return pts
+}
+
+// PeakImpedance locates the maximum of an impedance sweep, returning the
+// frequency and magnitude of the peak.
+func PeakImpedance(pts []ImpedancePoint) ImpedancePoint {
+	var peak ImpedancePoint
+	for _, pt := range pts {
+		if pt.Ohms > peak.Ohms {
+			peak = pt
+		}
+	}
+	return peak
+}

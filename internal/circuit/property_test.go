@@ -1,0 +1,102 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestLinearityOfDeviation: the circuit is linear, so scaling the current
+// *variation* around a bias scales the reported deviation by the same
+// factor.
+func TestLinearityOfDeviation(t *testing.T) {
+	p := Table1()
+	run := func(scale float64, seed uint64) []float64 {
+		r := rng.New(seed)
+		sim := NewSimulator(p, 70)
+		out := make([]float64, 400)
+		for c := range out {
+			i := 70 + scale*(r.Float64()*30-15)
+			out[c] = sim.Step(i)
+		}
+		return out
+	}
+	base := run(1, 42)
+	doubled := run(2, 42)
+	for c := range base {
+		if math.Abs(doubled[c]-2*base[c]) > 1e-9 {
+			t.Fatalf("cycle %d: 2x variation gave %g, want %g", c, doubled[c], 2*base[c])
+		}
+	}
+}
+
+// TestSuperposition: the response to the sum of two variation waveforms
+// is the sum of the individual responses.
+func TestSuperposition(t *testing.T) {
+	p := Table1()
+	const bias = 70.0
+	wa := Sine{Mid: 0, Amplitude: 20, PeriodCycles: 100}
+	wb := Square{Mid: 0, Amplitude: 12, PeriodCycles: 37}
+
+	run := func(w func(int) float64) []float64 {
+		sim := NewSimulator(p, bias)
+		out := make([]float64, 600)
+		for c := range out {
+			out[c] = sim.Step(bias + w(c))
+		}
+		return out
+	}
+	ra := run(wa.At)
+	rb := run(wb.At)
+	rsum := run(func(c int) float64 { return wa.At(c) + wb.At(c) })
+	for c := range rsum {
+		if math.Abs(rsum[c]-(ra[c]+rb[c])) > 1e-9 {
+			t.Fatalf("cycle %d: superposition violated: %g vs %g", c, rsum[c], ra[c]+rb[c])
+		}
+	}
+}
+
+// TestBoundedInputBoundedOutput: any current waveform inside the
+// processor's [IMin, IMax] envelope keeps the deviation finite and well
+// below Vdd.
+func TestBoundedInputBoundedOutput(t *testing.T) {
+	p := Table1()
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		sim := NewSimulator(p, 70)
+		for c := 0; c < 2000; c++ {
+			i := p.IMin + r.Float64()*(p.IMax-p.IMin)
+			dev := sim.Step(i)
+			if math.IsNaN(dev) || math.Abs(dev) > p.Vdd/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecayToZero: after any excitation stops, the deviation decays
+// toward zero at the damping rate.
+func TestDecayToZero(t *testing.T) {
+	p := Table1()
+	sim := NewSimulator(p, 70)
+	w := Square{Mid: 70, Amplitude: 40, PeriodCycles: 100, End: 500}
+	var dev float64
+	for c := 0; c < 500; c++ {
+		dev = sim.Step(w.At(c))
+	}
+	if math.Abs(dev) < 1e-4 {
+		t.Skip("excitation left no residual to decay")
+	}
+	for c := 0; c < 3000; c++ {
+		dev = sim.Step(70)
+	}
+	if math.Abs(dev) > 1e-6 {
+		t.Errorf("deviation %g V after 3000 quiet cycles, want ≈ 0", dev)
+	}
+}

@@ -1,0 +1,176 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestTable1DerivedParameters(t *testing.T) {
+	p := Table1()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Table1 invalid: %v", err)
+	}
+	if !p.Underdamped() {
+		t.Fatal("Table1 supply must be underdamped")
+	}
+	almost(t, "resonant frequency", p.ResonantFrequency(), 100e6, 0.5e6)
+	almost(t, "resonant period cycles", p.ResonantPeriodCycles(), 100, 0.5)
+	almost(t, "Q", p.Q(), 2.83, 0.03)
+	// The paper reports ~66% amplitude dissipation per resonant period.
+	almost(t, "dissipation/period", p.DissipationPerPeriod(), 0.66, 0.02)
+
+	cb := p.ResonanceBandCycles()
+	if cb.Lo != 84 || cb.Hi != 119 {
+		t.Errorf("resonance band cycles = %d-%d, want 84-119", cb.Lo, cb.Hi)
+	}
+	b := p.ResonanceBand()
+	almost(t, "band lo MHz", b.Lo/1e6, 83.9, 0.3)
+	almost(t, "band hi MHz", b.Hi/1e6, 119, 0.5)
+	almost(t, "noise margin", p.NoiseMarginVolts(), 0.05, 1e-12)
+	almost(t, "max swing", p.MaxCurrentSwing(), 70, 1e-12)
+}
+
+func TestSection2ExampleDerivedParameters(t *testing.T) {
+	p := Section2Example()
+	if !p.Underdamped() {
+		t.Fatal("Section 2 example must be underdamped")
+	}
+	// f0 ≈ 100 MHz, band roughly 92-108 MHz, ~40% dissipation per period.
+	almost(t, "resonant frequency MHz", p.ResonantFrequency()/1e6, 100.7, 0.5)
+	b := p.ResonanceBand()
+	almost(t, "band lo MHz", b.Lo/1e6, 92.5, 1.5)
+	almost(t, "band hi MHz", b.Hi/1e6, 109, 1.5)
+	almost(t, "dissipation/period", p.DissipationPerPeriod(), 0.40, 0.03)
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero R", func(p *Params) { p.R = 0 }},
+		{"negative L", func(p *Params) { p.L = -1e-12 }},
+		{"zero C", func(p *Params) { p.C = 0 }},
+		{"zero Vdd", func(p *Params) { p.Vdd = 0 }},
+		{"margin too big", func(p *Params) { p.NoiseMargin = 1.5 }},
+		{"margin zero", func(p *Params) { p.NoiseMargin = 0 }},
+		{"zero clock", func(p *Params) { p.ClockHz = 0 }},
+		{"IMax below IMin", func(p *Params) { p.IMax = 10 }},
+		{"negative IMin", func(p *Params) { p.IMin = -5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Table1()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted invalid params")
+			}
+		})
+	}
+}
+
+func TestOverdampedCircuitDetected(t *testing.T) {
+	p := Table1()
+	p.R = 1.0 // enormous supply impedance: R² >= 4L/C
+	if p.Underdamped() {
+		t.Fatal("circuit with R=1Ω should be overdamped")
+	}
+	if _, err := p.Characterize(); err == nil {
+		t.Error("Characterize should reject overdamped supply")
+	}
+}
+
+func TestCharacterizeTable1(t *testing.T) {
+	c, err := Table1().Characterize()
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	if !c.Underdamped {
+		t.Error("expected underdamped characteristics")
+	}
+	if c.BandCycles.Lo >= c.BandCycles.Hi {
+		t.Errorf("degenerate cycle band %+v", c.BandCycles)
+	}
+	if got := c.String(); got == "" {
+		t.Error("String() returned empty report")
+	}
+}
+
+func TestDampingRateMatchesAlternateForm(t *testing.T) {
+	// fπ/Q must equal R/(2L); the paper states the first form.
+	for _, p := range []Params{Table1(), Section2Example()} {
+		fromQ := math.Pi * p.ResonantFrequency() / p.Q()
+		if math.Abs(fromQ-p.DampingRateNepers())/fromQ > 1e-9 {
+			t.Errorf("damping rate mismatch: fπ/Q=%g R/2L=%g", fromQ, p.DampingRateNepers())
+		}
+	}
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{Lo: 90e6, Hi: 110e6}
+	if !b.Contains(100e6) || b.Contains(80e6) || b.Contains(120e6) {
+		t.Error("Band.Contains misclassifies frequencies")
+	}
+	almost(t, "width", b.Width(), 20e6, 1)
+}
+
+func TestCycleBandHalfPeriods(t *testing.T) {
+	cb := CycleBand{Lo: 84, Hi: 119}
+	lo, hi := cb.HalfPeriods()
+	if lo != 42 || hi != 60 {
+		t.Errorf("half periods = %d-%d, want 42-60", lo, hi)
+	}
+	if !cb.Contains(100) || cb.Contains(83) || cb.Contains(120) {
+		t.Error("CycleBand.Contains misclassifies periods")
+	}
+}
+
+// Property: the resonance band always straddles the resonant frequency
+// for any underdamped configuration.
+func TestBandStraddlesResonantFrequency(t *testing.T) {
+	f := func(rMilli, lPico, cNano uint16) bool {
+		p := Params{
+			R:           float64(rMilli%500+1) * 1e-6,
+			L:           float64(lPico%100+1) * 1e-12,
+			C:           float64(cNano%3000+10) * 1e-9,
+			Vdd:         1.0,
+			NoiseMargin: 0.05,
+			ClockHz:     10e9,
+			IMax:        100,
+			IMin:        30,
+		}
+		if !p.Underdamped() {
+			return true // vacuous
+		}
+		b := p.ResonanceBand()
+		f0 := p.ResonantFrequency()
+		return b.Lo < f0 && f0 < b.Hi && b.Lo > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: higher Q means a narrower relative band.
+func TestBandNarrowsWithQ(t *testing.T) {
+	p := Table1()
+	prevWidth := math.Inf(1)
+	for _, r := range []float64{800e-6, 400e-6, 200e-6, 100e-6} {
+		q := p
+		q.R = r
+		b := q.ResonanceBand()
+		w := b.Width() / q.ResonantFrequency()
+		if w >= prevWidth {
+			t.Errorf("band did not narrow when R dropped to %g (width %g >= %g)", r, w, prevWidth)
+		}
+		prevWidth = w
+	}
+}

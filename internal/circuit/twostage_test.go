@@ -1,0 +1,193 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoStageValidate(t *testing.T) {
+	if err := Table1TwoStage().Validate(); err != nil {
+		t.Fatalf("default two-stage invalid: %v", err)
+	}
+	bad := Table1TwoStage()
+	bad.C1 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero package capacitance accepted")
+	}
+	bad = Table1TwoStage()
+	bad.IMax = bad.IMin
+	if err := bad.Validate(); err == nil {
+		t.Error("degenerate current bounds accepted")
+	}
+}
+
+func TestTwoStageHasTwoImpedancePeaks(t *testing.T) {
+	p := Table1TwoStage()
+	low, med := p.Peaks()
+	// Low-frequency peak at a few megahertz (Section 2.2), medium near
+	// 100 MHz as for the single-stage Table 1 model.
+	if low.FrequencyHz < 1e6 || low.FrequencyHz > 20e6 {
+		t.Errorf("low peak at %.2f MHz, want a few MHz", low.FrequencyHz/1e6)
+	}
+	if math.Abs(med.FrequencyHz-100e6) > 10e6 {
+		t.Errorf("medium peak at %.2f MHz, want ≈ 100 MHz", med.FrequencyHz/1e6)
+	}
+	// Both are genuine peaks: impedance well above the DC value.
+	if low.Ohms < 2*(p.R1+p.R2) || med.Ohms < 2*(p.R1+p.R2) {
+		t.Errorf("peaks not prominent: low %g Ω, med %g Ω", low.Ohms, med.Ohms)
+	}
+	// The paper: the low-frequency peak is "fairly small" compared to
+	// the medium-frequency threat in current technology.
+	if low.Ohms > med.Ohms {
+		t.Errorf("low peak (%g Ω) should not dominate medium peak (%g Ω)", low.Ohms, med.Ohms)
+	}
+}
+
+func TestTwoStageMediumPeakMatchesSingleStage(t *testing.T) {
+	p := Table1TwoStage()
+	single := p.MediumStage()
+	_, med := p.Peaks()
+	zSingle := single.Impedance(single.ResonantFrequency())
+	if math.Abs(med.Ohms-zSingle)/zSingle > 0.25 {
+		t.Errorf("two-stage medium peak %g Ω vs single-stage %g Ω", med.Ohms, zSingle)
+	}
+}
+
+func TestTwoStageSteadyStateZeroDeviation(t *testing.T) {
+	p := Table1TwoStage()
+	sim := NewTwoStageSimulator(p, 70)
+	for c := 0; c < 2000; c++ {
+		if dev := sim.Step(70); math.Abs(dev) > 1e-9 {
+			t.Fatalf("cycle %d: deviation %g at constant current", c, dev)
+		}
+	}
+}
+
+func TestTwoStageLowFrequencyResonanceBuildsUp(t *testing.T) {
+	p := Table1TwoStage()
+	low := p.LowStage()
+	period := int(math.Round(p.ClockHz / low.ResonantFrequency()))
+	mid := (p.IMax + p.IMin) / 2
+
+	peakAt := func(periodCycles int) float64 {
+		sim := NewTwoStageSimulator(p, mid)
+		w := Square{Mid: mid, Amplitude: 40, PeriodCycles: periodCycles}
+		peak := 0.0
+		for c := 0; c < 12*period; c++ {
+			if d := math.Abs(sim.Step(w.At(c))); d > peak {
+				peak = d
+			}
+		}
+		return peak
+	}
+	onPeak := peakAt(period)
+	offPeak := peakAt(period / 4)
+	if onPeak <= offPeak {
+		t.Errorf("low-frequency stimulation (%d cycles) peaked %g V, off-resonance %g V",
+			period, onPeak, offPeak)
+	}
+}
+
+func TestTwoStageMediumResonanceStillPresent(t *testing.T) {
+	p := Table1TwoStage()
+	med := p.MediumStage()
+	period := int(math.Round(p.ClockHz / med.ResonantFrequency()))
+	mid := (p.IMax + p.IMin) / 2
+	sim := NewTwoStageSimulator(p, mid)
+	w := Square{Mid: mid, Amplitude: 50, PeriodCycles: period}
+	peak := 0.0
+	for c := 0; c < 10*period; c++ {
+		if d := math.Abs(sim.Step(w.At(c))); d > peak {
+			peak = d
+		}
+	}
+	// The package capacitance shunts a little of the medium-frequency
+	// response, but in-band stimulation above the threshold must still
+	// violate the margin.
+	if peak < p.NoiseMarginVolts() {
+		t.Errorf("medium-frequency stimulation peaked only %g V on the two-stage network", peak)
+	}
+}
+
+func TestTwoStageReset(t *testing.T) {
+	sim := NewTwoStageSimulator(Table1TwoStage(), 50)
+	for c := 0; c < 300; c++ {
+		sim.Step(50 + 30*float64(c%2))
+	}
+	sim.Reset(80)
+	if sim.Cycle() != 0 {
+		t.Error("cycle not reset")
+	}
+	if dev := sim.Step(80); math.Abs(dev) > 1e-9 {
+		t.Errorf("deviation %g after reset at steady current", dev)
+	}
+	st := sim.State()
+	if math.Abs(st.I1-80) > 1e-6 || math.Abs(st.I2-80) > 1e-6 {
+		t.Errorf("branch currents %g/%g after reset, want 80", st.I1, st.I2)
+	}
+}
+
+func TestTwoStageDCImpedance(t *testing.T) {
+	p := Table1TwoStage()
+	if got := p.Impedance(0); math.Abs(got-(p.R1+p.R2)) > 1e-12 {
+		t.Errorf("Z(0) = %g, want R1+R2 = %g", got, p.R1+p.R2)
+	}
+}
+
+func TestTwoStageSweepIsLogSpaced(t *testing.T) {
+	p := Table1TwoStage()
+	pts := p.ImpedanceSweep(1e6, 1e9, 31)
+	if len(pts) != 31 {
+		t.Fatalf("%d points", len(pts))
+	}
+	r1 := pts[1].FrequencyHz / pts[0].FrequencyHz
+	r2 := pts[30].FrequencyHz / pts[29].FrequencyHz
+	if math.Abs(r1-r2)/r1 > 1e-6 {
+		t.Errorf("ratios %g vs %g not log-spaced", r1, r2)
+	}
+}
+
+func TestTwoStageDegeneratesToSingleStage(t *testing.T) {
+	// With a negligible off-chip loop (tiny L1/R1, enormous C1) the
+	// two-stage network behaves like the single-stage Figure 1(b)
+	// model: same medium-frequency transient response.
+	p := Table1TwoStage()
+	p.L1 = 1e-16
+	p.R1 = 1e-9
+	p.C1 = 1 // one farad: an effectively ideal off-chip source
+
+	single := NewSimulator(p.MediumStage(), 70)
+	double := NewTwoStageSimulator(p, 70)
+	w := Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	worst := 0.0
+	for c := 0; c < 1500; c++ {
+		i := w.At(c)
+		d1 := single.Step(i)
+		d2 := double.Step(i)
+		if e := math.Abs(d1 - d2); e > worst {
+			worst = e
+		}
+	}
+	if worst > 1e-3 {
+		t.Errorf("degenerate two-stage diverges from single-stage by %g V", worst)
+	}
+}
+
+func TestTwoStageLinearity(t *testing.T) {
+	p := Table1TwoStage()
+	run := func(scale float64) []float64 {
+		sim := NewTwoStageSimulator(p, 70)
+		w := Sine{Mid: 0, Amplitude: 20, PeriodCycles: 2500}
+		out := make([]float64, 4000)
+		for c := range out {
+			out[c] = sim.Step(70 + scale*w.At(c))
+		}
+		return out
+	}
+	a, b := run(1), run(2)
+	for c := range a {
+		if math.Abs(b[c]-2*a[c]) > 1e-9 {
+			t.Fatalf("cycle %d: linearity violated", c)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package circuit
+
+import "math"
+
+// Waveform produces a per-cycle current sample. Cycle numbering starts at
+// zero. Waveforms are used both to stimulate the supply for calibration
+// (Section 2.1.3) and to reproduce the known-waveform experiments of
+// Section 5.1.1 (Figure 3).
+type Waveform interface {
+	// At returns the current in amps drawn during the given cycle.
+	At(cycle int) float64
+}
+
+// WaveformFunc adapts an ordinary function to the Waveform interface.
+type WaveformFunc func(cycle int) float64
+
+// At calls f(cycle).
+func (f WaveformFunc) At(cycle int) float64 { return f(cycle) }
+
+// Constant is a flat current draw.
+type Constant float64
+
+// At returns the constant value regardless of cycle.
+func (c Constant) At(int) float64 { return float64(c) }
+
+// Square is a square-wave current: Mid±Amplitude/2, switching every half
+// period. The wave starts in its high half at cycle Start and returns to
+// Mid at cycle End (End <= 0 means the wave never stops). This is the
+// stimulus shape of Figure 3.
+type Square struct {
+	Mid          float64 // center level, amps
+	Amplitude    float64 // peak-to-peak swing, amps
+	PeriodCycles int     // full period in cycles
+	Start, End   int     // active range [Start, End)
+}
+
+// At returns the square-wave sample for the cycle.
+func (s Square) At(cycle int) float64 {
+	if cycle < s.Start || (s.End > 0 && cycle >= s.End) {
+		return s.Mid
+	}
+	phase := (cycle - s.Start) % s.PeriodCycles
+	if phase < s.PeriodCycles/2 {
+		return s.Mid + s.Amplitude/2
+	}
+	return s.Mid - s.Amplitude/2
+}
+
+// Sine is a sinusoidal current Mid + (Amplitude/2)·sin(2π·cycle/Period)
+// over [Start, End); outside the range it holds Mid.
+type Sine struct {
+	Mid          float64
+	Amplitude    float64 // peak-to-peak
+	PeriodCycles float64
+	Start, End   int
+}
+
+// At returns the sine sample for the cycle.
+func (s Sine) At(cycle int) float64 {
+	if cycle < s.Start || (s.End > 0 && cycle >= s.End) {
+		return s.Mid
+	}
+	return s.Mid + s.Amplitude/2*math.Sin(2*math.Pi*float64(cycle-s.Start)/s.PeriodCycles)
+}
+
+// Triangle is a triangle wave of the given peak-to-peak amplitude around
+// Mid over [Start, End).
+type Triangle struct {
+	Mid          float64
+	Amplitude    float64 // peak-to-peak
+	PeriodCycles int
+	Start, End   int
+}
+
+// At returns the triangle sample for the cycle.
+func (t Triangle) At(cycle int) float64 {
+	if cycle < t.Start || (t.End > 0 && cycle >= t.End) {
+		return t.Mid
+	}
+	phase := (cycle - t.Start) % t.PeriodCycles
+	half := t.PeriodCycles / 2
+	var frac float64
+	if phase < half {
+		frac = float64(phase) / float64(half) // rising 0→1
+	} else {
+		frac = 1 - float64(phase-half)/float64(t.PeriodCycles-half) // falling 1→0
+	}
+	return t.Mid - t.Amplitude/2 + t.Amplitude*frac
+}
+
+// Samples evaluates w for n cycles starting at cycle 0.
+func Samples(w Waveform, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = w.At(i)
+	}
+	return out
+}

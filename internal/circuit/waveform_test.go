@@ -1,0 +1,130 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareWaveShape(t *testing.T) {
+	w := Square{Mid: 70, Amplitude: 34, PeriodCycles: 100, Start: 100, End: 500}
+	if got := w.At(0); got != 70 {
+		t.Errorf("before start: %g, want mid 70", got)
+	}
+	if got := w.At(600); got != 70 {
+		t.Errorf("after end: %g, want mid 70", got)
+	}
+	if got := w.At(100); got != 87 {
+		t.Errorf("first half: %g, want 87", got)
+	}
+	if got := w.At(150); got != 53 {
+		t.Errorf("second half: %g, want 53", got)
+	}
+	if got := w.At(200); got != 87 {
+		t.Errorf("second period: %g, want 87", got)
+	}
+}
+
+func TestSquareWaveEndlessWhenEndZero(t *testing.T) {
+	w := Square{Mid: 10, Amplitude: 4, PeriodCycles: 10}
+	if got := w.At(1_000_003); got != 12 && got != 8 {
+		t.Errorf("endless square produced %g, want 12 or 8", got)
+	}
+}
+
+func TestSineWaveBounds(t *testing.T) {
+	w := Sine{Mid: 70, Amplitude: 30, PeriodCycles: 100}
+	f := func(c uint16) bool {
+		v := w.At(int(c))
+		return v >= 55-1e-9 && v <= 85+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Quarter period should be near the positive peak.
+	if got := w.At(25); math.Abs(got-85) > 0.2 {
+		t.Errorf("sine at quarter period = %g, want ≈ 85", got)
+	}
+}
+
+func TestTriangleWaveShape(t *testing.T) {
+	w := Triangle{Mid: 50, Amplitude: 20, PeriodCycles: 100}
+	if got := w.At(0); math.Abs(got-40) > 1e-9 {
+		t.Errorf("triangle at 0 = %g, want 40 (bottom)", got)
+	}
+	if got := w.At(50); math.Abs(got-60) > 1e-9 {
+		t.Errorf("triangle at half = %g, want 60 (top)", got)
+	}
+	if got := w.At(25); math.Abs(got-50) > 1e-9 {
+		t.Errorf("triangle at quarter = %g, want 50 (mid)", got)
+	}
+	f := func(c uint16) bool {
+		v := w.At(int(c))
+		return v >= 40-1e-9 && v <= 60+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleMeanOverPeriodIsMid(t *testing.T) {
+	w := Triangle{Mid: 50, Amplitude: 20, PeriodCycles: 100}
+	sum := 0.0
+	for c := 0; c < 100; c++ {
+		sum += w.At(c)
+	}
+	if mean := sum / 100; math.Abs(mean-50) > 0.5 {
+		t.Errorf("triangle mean over period = %g, want ≈ 50", mean)
+	}
+}
+
+func TestConstantAndFuncWaveforms(t *testing.T) {
+	if got := Constant(42).At(1234); got != 42 {
+		t.Errorf("Constant.At = %g, want 42", got)
+	}
+	w := WaveformFunc(func(c int) float64 { return float64(2 * c) })
+	if got := w.At(21); got != 42 {
+		t.Errorf("WaveformFunc.At = %g, want 42", got)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	s := Samples(Constant(7), 5)
+	if len(s) != 5 {
+		t.Fatalf("Samples length %d, want 5", len(s))
+	}
+	for i, v := range s {
+		if v != 7 {
+			t.Errorf("sample %d = %g, want 7", i, v)
+		}
+	}
+}
+
+// Property from Section 3.1.1: the quarter-period sum difference of a
+// triangle wave of peak-to-peak X is X·T/8, and of a square wave X·T/4.
+func TestQuarterPeriodSumIdentities(t *testing.T) {
+	const T = 100
+	quarterDiff := func(w Waveform, start int) float64 {
+		var recent, prior float64
+		for c := 0; c < T/4; c++ {
+			prior += w.At(start + c)
+			recent += w.At(start + T/4 + c)
+		}
+		return math.Abs(recent - prior)
+	}
+
+	sq := Square{Mid: 0, Amplitude: 32, PeriodCycles: T}
+	// Transition high→low happens at T/2; take the window centered there.
+	if got, want := quarterDiff(sq, T/4), 32.0*T/4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("square quarter-sum difference = %g, want X·T/4 = %g", got, want)
+	}
+
+	tr := Triangle{Mid: 0, Amplitude: 32, PeriodCycles: T}
+	// The high→low transition of a triangle is its falling half
+	// [T/2, T): the first falling quarter sums X·T/8 above the second.
+	got := quarterDiff(tr, T/2)
+	want := 32.0 * T / 8
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("triangle quarter-sum difference = %g, want ≈ X·T/8 = %g", got, want)
+	}
+}

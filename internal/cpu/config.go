@@ -1,0 +1,131 @@
+package cpu
+
+import "fmt"
+
+// Config holds the structural parameters of the core. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	DecodeWidth int // instructions renamed/dispatched per cycle
+	IssueWidth  int // instructions issued per cycle (throttleable)
+	CommitWidth int // instructions retired per cycle
+
+	ROBSize int // reorder buffer entries
+	LSQSize int // load/store queue entries
+	IQSize  int // issue-queue (waiting, unissued) capacity
+
+	// Functional-unit counts; each unit accepts one operation per cycle
+	// (fully pipelined).
+	IntALUs, IntMuls, FPALUs, FPMuls int
+
+	CachePorts int // L1 data cache ports (throttleable)
+
+	// Latencies in cycles. Memory latencies are end-to-end load-use
+	// latencies for the respective hierarchy level.
+	IntALULat, IntMulLat, FPALULat, FPMulLat int
+	L1Lat, L2Lat, MemLat                     int
+
+	// MispredictPenalty is the number of cycles after branch resolution
+	// before fetch resumes on the correct path.
+	MispredictPenalty int
+
+	FetchQueue int // fetch-buffer capacity
+}
+
+// DefaultConfig returns the Table 1 configuration: 8-wide out-of-order
+// issue, 128-entry ROB and LSQ, 8+2 integer and 4+2 floating-point units,
+// 2-cycle 2-port L1, 12-cycle L2, 80-cycle memory.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        8,
+		DecodeWidth:       8,
+		IssueWidth:        8,
+		CommitWidth:       8,
+		ROBSize:           128,
+		LSQSize:           128,
+		IQSize:            64,
+		IntALUs:           8,
+		IntMuls:           2,
+		FPALUs:            4,
+		FPMuls:            2,
+		CachePorts:        2,
+		IntALULat:         1,
+		IntMulLat:         3,
+		FPALULat:          2,
+		FPMulLat:          4,
+		L1Lat:             2,
+		L2Lat:             12,
+		MemLat:            80,
+		MispredictPenalty: 7,
+		FetchQueue:        32,
+	}
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("cpu: pipeline widths must be positive: %+v", c)
+	case c.ROBSize <= 0 || c.LSQSize <= 0 || c.IQSize <= 0 || c.FetchQueue <= 0:
+		return fmt.Errorf("cpu: queue sizes must be positive: %+v", c)
+	case c.IntALUs <= 0 || c.IntMuls <= 0 || c.FPALUs <= 0 || c.FPMuls <= 0:
+		return fmt.Errorf("cpu: functional-unit counts must be positive: %+v", c)
+	case c.CachePorts <= 0:
+		return fmt.Errorf("cpu: cache ports must be positive: %+v", c)
+	case c.IntALULat <= 0 || c.IntMulLat <= 0 || c.FPALULat <= 0 || c.FPMulLat <= 0:
+		return fmt.Errorf("cpu: FU latencies must be positive: %+v", c)
+	case c.L1Lat <= 0 || c.L2Lat < c.L1Lat || c.MemLat < c.L2Lat:
+		return fmt.Errorf("cpu: memory latencies must be positive and increasing: %+v", c)
+	case c.MispredictPenalty < 0:
+		return fmt.Errorf("cpu: mispredict penalty must be non-negative: %+v", c)
+	}
+	return nil
+}
+
+// units returns the number of functional units for the class.
+func (c Config) units(cl Class) int {
+	switch cl {
+	case IntALU, Branch, Store:
+		// Branches and store address generation share the integer ALUs.
+		return c.IntALUs
+	case IntMul:
+		return c.IntMuls
+	case FPALU:
+		return c.FPALUs
+	case FPMul:
+		return c.FPMuls
+	case Load:
+		return c.CachePorts
+	default:
+		return 0
+	}
+}
+
+// latency returns the execution latency for an instruction.
+func (c Config) latency(in Inst) int {
+	switch in.Class {
+	case IntALU, Branch:
+		return c.IntALULat
+	case IntMul:
+		return c.IntMulLat
+	case FPALU:
+		return c.FPALULat
+	case FPMul:
+		return c.FPMulLat
+	case Load:
+		switch in.Mem {
+		case MemL1:
+			return c.L1Lat
+		case MemL2:
+			return c.L2Lat
+		default:
+			return c.MemLat
+		}
+	case Store:
+		// Stores compute their address and complete; the write happens
+		// at commit.
+		return c.IntALULat
+	default:
+		return 1
+	}
+}

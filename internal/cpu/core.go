@@ -1,0 +1,321 @@
+package cpu
+
+import "fmt"
+
+// Activity reports what the core did in one cycle. The power model turns
+// an Activity into energy and current; the techniques read the structural
+// occupancies.
+type Activity struct {
+	Fetched    int // instructions fetched
+	Dispatched int // instructions renamed/dispatched
+	Committed  int // instructions retired
+
+	Issued      [NumClasses]int // instructions issued, by class
+	IssuedTotal int
+
+	L1I int // L1 instruction-cache accesses (instruction granularity)
+	L1D int // L1 data-cache accesses started (loads at issue, stores at commit)
+	L2  int // L2 accesses started
+	Mem int // main-memory accesses started
+
+	BranchesResolved int
+
+	IQOccupancy  int // instructions waiting to issue at end of cycle
+	ROBOccupancy int // reorder-buffer occupancy at end of cycle
+}
+
+// instruction lifecycle states inside the ROB.
+const (
+	stWaiting uint8 = iota // dispatched, waiting for operands or a unit
+	stExec                 // issued; result ready at doneAt
+)
+
+type robEntry struct {
+	inst   Inst
+	seq    uint64
+	state  uint8
+	doneAt uint64 // valid when state == stExec
+}
+
+// Core is the cycle-level out-of-order processor model. Create one with
+// New and advance it one cycle at a time with Step.
+type Core struct {
+	cfg Config
+	src Source
+
+	cycle   uint64
+	seqNext uint64 // sequence number of the next dispatched instruction
+
+	rob      []robEntry
+	head     int // index of the oldest entry
+	robCount int
+
+	fq      []Inst // fetch queue ring
+	fqHead  int
+	fqCount int
+	srcDone bool
+
+	iqCount  int // dispatched but unissued
+	lsqCount int // loads+stores in flight
+
+	// Branch-redirect state: dispatch and fetch stop behind a
+	// mispredicted branch until it resolves plus the redirect penalty.
+	blockedOnBranch bool
+	blockedSeq      uint64
+	redirectClearAt uint64
+
+	committed uint64
+	fetchedN  uint64
+
+	// classAmps are the a-priori per-class current estimates used when a
+	// Throttle carries an issue-current budget (pipeline damping [14]).
+	classAmps [NumClasses]float64
+}
+
+// New returns a core executing instructions from src under configuration
+// cfg. It panics if cfg is invalid, since a Config mistake is a programming
+// error, not a runtime condition.
+func New(cfg Config, src Source) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("cpu.New: %v", err))
+	}
+	return &Core{
+		cfg: cfg,
+		src: src,
+		rob: make([]robEntry, cfg.ROBSize),
+		fq:  make([]Inst, cfg.FetchQueue),
+	}
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Cycle returns the number of cycles simulated so far.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Committed returns the number of instructions retired so far.
+func (c *Core) Committed() uint64 { return c.committed }
+
+// Fetched returns the number of instructions fetched so far.
+func (c *Core) Fetched() uint64 { return c.fetchedN }
+
+// IPC returns committed instructions per cycle so far.
+func (c *Core) IPC() float64 {
+	if c.cycle == 0 {
+		return 0
+	}
+	return float64(c.committed) / float64(c.cycle)
+}
+
+// Done reports whether the instruction stream is exhausted and the
+// pipeline has fully drained.
+func (c *Core) Done() bool {
+	return c.srcDone && c.fqCount == 0 && c.robCount == 0
+}
+
+// SetClassCurrentEstimates installs the per-class issue-current estimates
+// (amps) consulted when a throttle carries an issue-current budget.
+func (c *Core) SetClassCurrentEstimates(est [NumClasses]float64) {
+	c.classAmps = est
+}
+
+// ClassCurrentEstimates returns the installed per-class estimates.
+func (c *Core) ClassCurrentEstimates() [NumClasses]float64 { return c.classAmps }
+
+// oldestSeq returns the sequence number of the oldest un-retired
+// instruction; producers older than this have retired and their results
+// are available.
+func (c *Core) oldestSeq() uint64 { return c.seqNext - uint64(c.robCount) }
+
+// ready reports whether the entry's operands are available this cycle.
+func (c *Core) ready(e *robEntry) bool {
+	return c.operandReady(e.seq, e.inst.SrcDist1) && c.operandReady(e.seq, e.inst.SrcDist2)
+}
+
+func (c *Core) operandReady(seq uint64, dist uint16) bool {
+	if dist == 0 {
+		return true
+	}
+	d := uint64(dist)
+	if d > seq { // producer predates the stream
+		return true
+	}
+	p := seq - d
+	if p < c.oldestSeq() {
+		return true // producer has retired
+	}
+	pe := &c.rob[p%uint64(c.cfg.ROBSize)]
+	return pe.state == stExec && pe.doneAt <= c.cycle
+}
+
+// Step simulates one clock cycle under throttle t and returns the cycle's
+// activity. Stages run in reverse pipeline order (commit, issue, dispatch,
+// fetch) so intra-cycle structural hazards resolve naturally.
+func (c *Core) Step(t Throttle) Activity {
+	var act Activity
+	ports := t.cachePorts(c.cfg)
+	portsUsed := 0
+
+	c.commit(&act, ports, &portsUsed)
+	c.issue(&act, t, ports, &portsUsed)
+	c.dispatch(&act)
+	c.fetch(&act, t)
+
+	act.IQOccupancy = c.iqCount
+	act.ROBOccupancy = c.robCount
+	c.cycle++
+	return act
+}
+
+func (c *Core) commit(act *Activity, ports int, portsUsed *int) {
+	for act.Committed < c.cfg.CommitWidth && c.robCount > 0 {
+		e := &c.rob[c.head]
+		if e.state != stExec || e.doneAt > c.cycle {
+			break
+		}
+		if e.inst.Class == Store {
+			if *portsUsed >= ports {
+				break // store write needs a cache port
+			}
+			*portsUsed++
+			c.countMemAccess(act, e.inst.Mem)
+		}
+		if e.inst.Class == Load || e.inst.Class == Store {
+			c.lsqCount--
+		}
+		c.head = (c.head + 1) % c.cfg.ROBSize
+		c.robCount--
+		c.committed++
+		act.Committed++
+	}
+}
+
+func (c *Core) issue(act *Activity, t Throttle, ports int, portsUsed *int) {
+	width := t.issueWidth(c.cfg)
+	if width == 0 {
+		return
+	}
+	var unitsUsed [NumClasses]int
+	budget := t.IssueCurrentBudget
+	idx := c.head
+	waitingSeen := 0
+	for scanned := 0; scanned < c.robCount && act.IssuedTotal < width && waitingSeen < c.iqCount+act.IssuedTotal; scanned++ {
+		e := &c.rob[idx]
+		idx = (idx + 1) % c.cfg.ROBSize
+		if e.state != stWaiting {
+			continue
+		}
+		waitingSeen++
+		if !c.ready(e) {
+			continue
+		}
+		cl := e.inst.Class
+		if unitsUsed[cl] >= c.cfg.units(cl) {
+			continue
+		}
+		if cl == Load && *portsUsed >= ports {
+			continue
+		}
+		if t.budgeted() {
+			cost := c.classAmps[cl]
+			if cost > budget {
+				continue
+			}
+			budget -= cost
+		}
+		unitsUsed[cl]++
+		if cl == Load {
+			*portsUsed++
+			c.countMemAccess(act, e.inst.Mem)
+		}
+		e.state = stExec
+		e.doneAt = c.cycle + uint64(c.cfg.latency(e.inst))
+		c.iqCount--
+		act.Issued[cl]++
+		act.IssuedTotal++
+		if cl == Branch {
+			act.BranchesResolved++
+			if e.inst.Mispredicted && c.blockedOnBranch && e.seq == c.blockedSeq {
+				c.blockedOnBranch = false
+				c.redirectClearAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
+			}
+		}
+	}
+}
+
+func (c *Core) countMemAccess(act *Activity, lvl MemLevel) {
+	act.L1D++
+	switch lvl {
+	case MemL2:
+		act.L2++
+	case MemMain:
+		act.L2++
+		act.Mem++
+	}
+}
+
+func (c *Core) frontendBlocked() bool {
+	return c.blockedOnBranch || c.cycle < c.redirectClearAt
+}
+
+func (c *Core) dispatch(act *Activity) {
+	for act.Dispatched < c.cfg.DecodeWidth &&
+		c.fqCount > 0 &&
+		c.robCount < c.cfg.ROBSize &&
+		c.iqCount < c.cfg.IQSize &&
+		!c.frontendBlocked() {
+
+		in := c.fq[c.fqHead]
+		if (in.Class == Load || in.Class == Store) && c.lsqCount >= c.cfg.LSQSize {
+			break
+		}
+		c.fqHead = (c.fqHead + 1) % c.cfg.FetchQueue
+		c.fqCount--
+
+		tail := (c.head + c.robCount) % c.cfg.ROBSize
+		c.rob[tail] = robEntry{inst: in, seq: c.seqNext, state: stWaiting}
+		c.seqNext++
+		c.robCount++
+		c.iqCount++
+		if in.Class == Load || in.Class == Store {
+			c.lsqCount++
+		}
+		act.Dispatched++
+		if in.Class == Branch && in.Mispredicted {
+			c.blockedOnBranch = true
+			c.blockedSeq = c.seqNext - 1
+			break // nothing younger dispatches until redirect
+		}
+	}
+}
+
+func (c *Core) fetch(act *Activity, t Throttle) {
+	if t.StallFetch || c.srcDone || c.frontendBlocked() {
+		return
+	}
+	for act.Fetched < c.cfg.FetchWidth && c.fqCount < c.cfg.FetchQueue {
+		in, ok := c.src.Next()
+		if !ok {
+			c.srcDone = true
+			break
+		}
+		tail := (c.fqHead + c.fqCount) % c.cfg.FetchQueue
+		c.fq[tail] = in
+		c.fqCount++
+		c.fetchedN++
+		act.Fetched++
+		act.L1I++
+	}
+}
+
+// Run advances the core until the stream drains or maxCycles elapse,
+// discarding per-cycle activity. It returns the number of cycles run.
+// It is a convenience for tests and calibration; simulations that need
+// power coupling call Step directly.
+func (c *Core) Run(maxCycles uint64, t Throttle) uint64 {
+	start := c.cycle
+	for !c.Done() && c.cycle-start < maxCycles {
+		c.Step(t)
+	}
+	return c.cycle - start
+}

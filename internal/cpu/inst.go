@@ -1,0 +1,144 @@
+// Package cpu implements a cycle-level model of the 8-wide out-of-order
+// superscalar processor of Table 1 in the paper: 8-wide fetch/issue/commit,
+// 128-entry reorder buffer and load-store queue, two-ported L1 caches, and
+// the Table 1 functional-unit pool. The model executes synthetic
+// instruction streams (see package workload) rather than a real ISA; what
+// matters for inductive noise is the per-cycle *activity* waveform, which
+// the model reports so the power model can convert it into current.
+//
+// The pipeline exposes the throttle hooks that all three inductive-noise
+// techniques rely on: reducing issue width and cache ports (resonance
+// tuning's first-level response), stalling issue entirely (second level),
+// stalling fetch (the technique of [10]), and bounding the estimated
+// current issued per cycle (pipeline damping [14]).
+package cpu
+
+// Class categorises instructions by the functional unit they occupy.
+type Class uint8
+
+// Instruction classes.
+const (
+	IntALU Class = iota // single-cycle integer ALU op
+	IntMul              // integer multiply/divide
+	FPALU               // floating-point add/sub
+	FPMul               // floating-point multiply/divide
+	Load                // memory load
+	Store               // memory store
+	Branch              // conditional or unconditional branch
+	NumClasses
+)
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "intalu"
+	case IntMul:
+		return "intmul"
+	case FPALU:
+		return "fpalu"
+	case FPMul:
+		return "fpmul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	default:
+		return "unknown"
+	}
+}
+
+// MemLevel is the level of the memory hierarchy that services a load or
+// store.
+type MemLevel uint8
+
+// Memory hierarchy levels.
+const (
+	MemL1   MemLevel = iota // L1 hit
+	MemL2                   // L1 miss, L2 hit
+	MemMain                 // L2 miss, main memory access
+)
+
+// String returns the level name.
+func (m MemLevel) String() string {
+	switch m {
+	case MemL1:
+		return "L1"
+	case MemL2:
+		return "L2"
+	case MemMain:
+		return "mem"
+	default:
+		return "unknown"
+	}
+}
+
+// Inst is one synthetic instruction. Dependencies are expressed as
+// distances: SrcDist1/SrcDist2 give how many instructions earlier in
+// program order the producing instruction is (0 means no dependency).
+type Inst struct {
+	Class Class
+	// SrcDist1 and SrcDist2 are producer distances in program order;
+	// 0 means the operand is immediately available.
+	SrcDist1, SrcDist2 uint16
+	// Mem is the hierarchy level that services this Load or Store.
+	Mem MemLevel
+	// Mispredicted marks a branch whose prediction is wrong; the
+	// frontend refetches after the branch resolves.
+	Mispredicted bool
+}
+
+// Source supplies the instruction stream executed by the core.
+type Source interface {
+	// Next returns the next instruction, or ok=false when the stream
+	// is exhausted.
+	Next() (inst Inst, ok bool)
+}
+
+// SliceSource adapts a fixed instruction slice to the Source interface.
+// It is mainly useful in tests.
+type SliceSource struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceSource returns a Source that yields the given instructions once.
+func NewSliceSource(insts []Inst) *SliceSource {
+	return &SliceSource{insts: insts}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Inst, bool) {
+	if s.pos >= len(s.insts) {
+		return Inst{}, false
+	}
+	i := s.insts[s.pos]
+	s.pos++
+	return i, true
+}
+
+// RepeatSource yields a fixed pattern of instructions cyclically, up to a
+// total instruction budget.
+type RepeatSource struct {
+	pattern []Inst
+	limit   uint64
+	n       uint64
+}
+
+// NewRepeatSource returns a Source yielding pattern cyclically until limit
+// instructions have been produced.
+func NewRepeatSource(pattern []Inst, limit uint64) *RepeatSource {
+	return &RepeatSource{pattern: pattern, limit: limit}
+}
+
+// Next implements Source.
+func (s *RepeatSource) Next() (Inst, bool) {
+	if s.n >= s.limit || len(s.pattern) == 0 {
+		return Inst{}, false
+	}
+	i := s.pattern[s.n%uint64(len(s.pattern))]
+	s.n++
+	return i, true
+}

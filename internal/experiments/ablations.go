@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// AblationRow is one variant of one ablation study.
+type AblationRow struct {
+	Study               string
+	Variant             string
+	AvgSlowdown         float64
+	AvgEnergyDelay      float64
+	ViolationsRemaining uint64
+	BaseViolations      uint64
+}
+
+// AblationData collects all ablation results.
+type AblationData struct {
+	Rows []AblationRow
+	// IntegratorErrHeun and IntegratorErrEuler are worst-case errors
+	// (volts) against the closed-form underdamped step response.
+	IntegratorErrHeun  float64
+	IntegratorErrEuler float64
+}
+
+// ablationApps is the subset of frequently violating applications the
+// pipeline ablations run on (the full suite would dilute the signal with
+// apps that never trigger the mechanism).
+var ablationApps = []string{"lucas", "swim", "bzip", "parser"}
+
+// ablationVariant is one tuning configuration mutation to evaluate.
+type ablationVariant struct {
+	study, name string
+	mutate      func(*tuning.Config) // nil = paper configuration
+	sensorRes   float64              // 0 = whole amp, <0 = exact
+}
+
+// Ablations evaluates the design choices DESIGN.md calls out:
+//
+//   - band coverage: detecting over the full resonance band (the paper's
+//     point) vs only the exact resonant half-period (what [14] covers);
+//   - initial response threshold 1 vs 2;
+//   - two-tier response vs an effectively second-level-only response;
+//   - current-sensor resolution exact / 1 A / 8 A;
+//   - Heun vs forward-Euler circuit integration accuracy.
+func Ablations(opts Options) (Report, error) {
+	base, err := runAblationSuite(opts, nil, 0)
+	if err != nil {
+		return Report{}, err
+	}
+	data := &AblationData{}
+
+	variants := []ablationVariant{
+		{"band-coverage", "full band 42-60 (paper)", nil, 0},
+		{"band-coverage", "resonant half-period only (50)", func(c *tuning.Config) {
+			c.Detector.HalfPeriodLo = 50
+			c.Detector.HalfPeriodHi = 50
+		}, 0},
+		{"initial-threshold", "threshold 1 (eager)", func(c *tuning.Config) {
+			c.InitialResponseThreshold = 1
+		}, 0},
+		{"initial-threshold", "threshold 2 (paper)", nil, 0},
+		{"response-tiers", "two-tier (paper)", nil, 0},
+		{"response-tiers", "second-level only (1-cycle first tier)", func(c *tuning.Config) {
+			c.InitialResponseCycles = 1
+		}, 0},
+		{"sensor-resolution", "exact sensing", nil, -1},
+		{"sensor-resolution", "whole-amp (paper)", nil, 0},
+		{"sensor-resolution", "8-amp coarse", nil, 8},
+	}
+	for _, v := range variants {
+		cfg := paperTuningConfig(100, 0)
+		if v.mutate != nil {
+			v.mutate(&cfg)
+		}
+		results, err := runAblationSuite(opts, &cfg, v.sensorRes)
+		if err != nil {
+			return Report{}, fmt.Errorf("ablation %s/%s: %w", v.study, v.name, err)
+		}
+		rels, err := metrics.Compare(base, results)
+		if err != nil {
+			return Report{}, err
+		}
+		sum := metrics.Summarize(rels)
+		data.Rows = append(data.Rows, AblationRow{
+			Study:               v.study,
+			Variant:             v.name,
+			AvgSlowdown:         sum.AvgSlowdown,
+			AvgEnergyDelay:      sum.AvgEnergyDelay,
+			ViolationsRemaining: sum.TechViolations,
+			BaseViolations:      sum.BaseViolations,
+		})
+	}
+
+	data.IntegratorErrHeun = integratorWorstError(circuit.Heun)
+	data.IntegratorErrEuler = integratorWorstError(circuit.Euler)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (%d instructions/app over %v)\n\n", opts.instructions(), ablationApps)
+	tab := metrics.Table{Headers: []string{"study", "variant", "avg slowdown", "avg energy-delay", "violations (base→variant)"}}
+	for _, r := range data.Rows {
+		tab.AddRow(r.Study, r.Variant,
+			fmt.Sprintf("%.3f", r.AvgSlowdown),
+			fmt.Sprintf("%.3f", r.AvgEnergyDelay),
+			fmt.Sprintf("%d→%d", r.BaseViolations, r.ViolationsRemaining))
+	}
+	b.WriteString(tab.String())
+	fmt.Fprintf(&b, "\nintegrator worst error vs closed form: Heun %.3g V, Euler %.3g V\n",
+		data.IntegratorErrHeun, data.IntegratorErrEuler)
+	return Report{ID: "ablations", Text: b.String(), Data: data}, nil
+}
+
+// runAblationSuite runs the ablation subset under one tuning variant
+// (nil = uncontrolled base) with the given sensor resolution.
+func runAblationSuite(opts Options, cfg *tuning.Config, sensorRes float64) ([]sim.Result, error) {
+	var out []sim.Result
+	for _, name := range ablationApps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		scfg := sim.DefaultConfig()
+		scfg.SensorResolutionAmps = sensorRes
+		gen := workload.NewGenerator(app.Params, opts.instructions())
+		var tech sim.Technique
+		techName := "base"
+		if cfg != nil {
+			rt := sim.NewResonanceTuning(*cfg)
+			tech = rt
+			techName = rt.Name()
+		}
+		s, err := sim.New(scfg, gen, tech)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s.Run(name, techName))
+	}
+	return out, nil
+}
+
+// integratorWorstError measures the worst deviation error of the given
+// method against the analytic underdamped step response of the Table 1
+// supply over 3000 cycles.
+func integratorWorstError(m circuit.Method) float64 {
+	p := circuit.Table1()
+	const i0, i1 = 50.0, 80.0
+	s := circuit.NewSimulatorMethod(p, i0, m)
+	alpha := p.DampingRateNepers()
+	w0 := 2 * math.Pi * p.ResonantFrequency()
+	wd := math.Sqrt(w0*w0 - alpha*alpha)
+	a := p.R * (i1 - i0)
+	bb := (-(i1-i0)/p.C + alpha*a) / wd
+	dt := 1 / p.ClockHz
+	worst := 0.0
+	for c := 1; c <= 3000; c++ {
+		got := s.Step(i1)
+		t := float64(c) * dt
+		want := math.Exp(-alpha*t) * (a*math.Cos(wd*t) + bb*math.Sin(wd*t))
+		if e := math.Abs(got - want); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,189 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the impedance curve of Figure 1(c), the
+// known-waveform stimulation of Figure 3, the parser violation anatomy of
+// Figure 4, the application classification of Table 2, the resonance-
+// tuning sweep of Table 3, the voltage-control sweep of Table 4
+// (technique of [10]), the pipeline-damping sweep of Table 5, the
+// comparison of Figure 5, and the repo's own ablation studies.
+//
+// Every experiment is deterministic. Experiments that simulate the whole
+// SPEC2K suite fan application runs out across a worker pool and join
+// before reporting, so reports are reproducible bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// Options tunes how experiments run. The zero value is usable: it selects
+// the paper's Table 1 system, a scaled-down instruction budget, and full
+// parallelism.
+type Options struct {
+	// Instructions is the per-application instruction budget. Zero
+	// means 1,000,000 (the paper runs 500M; see EXPERIMENTS.md for the
+	// scaling discussion).
+	Instructions uint64
+	// Parallelism bounds concurrent application simulations; zero means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) instructions() uint64 {
+	if o.Instructions == 0 {
+		return 1_000_000
+	}
+	return o.Instructions
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// Report is the outcome of one experiment: a human-readable text block
+// plus experiment-specific structured data for programmatic use.
+type Report struct {
+	ID   string
+	Text string
+	// Data holds the experiment's structured results: *Fig1cData,
+	// *Fig3Data, *Fig4Data, *Table2Data, *Table3Data, *Table4Data,
+	// *Table5Data, *Fig5Data, *AblationData, *RelatedData,
+	// *LowFreqData, *ScalingData, or *SpectrumData.
+	Data any
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) (Report, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1c", "power-supply impedance vs frequency (Figure 1c)", Fig1c},
+		{"fig3", "stimulation at the resonant frequency (Figure 3)", Fig3},
+		{"fig4", "voltage and current variation in parser (Figure 4)", Fig4},
+		{"table2", "classification of SPEC2K applications (Table 2)", Table2},
+		{"table3", "resonance tuning response-time sweep (Table 3)", Table3},
+		{"table4", "technique of [10], threshold/noise/delay sweep (Table 4)", Table4},
+		{"table5", "pipeline damping delta sweep (Table 5)", Table5},
+		{"fig5", "energy-delay comparison of the techniques (Figure 5)", Fig5},
+		{"ablations", "design-choice ablations (band coverage, thresholds, tiers, sensors, integrator)", Ablations},
+		{"related", "five-way related-technique comparison incl. convolution [8] and wavelet [11]", Related},
+		{"lowfreq", "low-frequency resonance on the two-stage supply (Section 2.2)", LowFreq},
+		{"scaling", "technology-scaling trend: tuning vs resonant period (Section 3.2)", Scaling},
+		{"spectra", "per-application current spectra vs the resonance band", Spectra},
+	}
+}
+
+// ByID returns the experiment with the given identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}
+
+// techFactory builds a fresh technique instance for one application run;
+// nil factories mean the uncontrolled base processor. The power model is
+// provided so techniques can derive phantom-fire and mid-level currents.
+type techFactory func(app workload.App, pwr *power.Model) sim.Technique
+
+// runSuite simulates every application under the technique built by
+// factory, in parallel, and returns results in Table 2 application order.
+func runSuite(opts Options, factory techFactory) ([]sim.Result, error) {
+	apps := workload.Apps()
+	results := make([]sim.Result, len(apps))
+	errs := make([]error, len(apps))
+
+	sem := make(chan struct{}, opts.parallelism())
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app workload.App) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = runOne(opts, app, factory)
+		}(i, app)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runOne simulates a single application.
+func runOne(opts Options, app workload.App, factory techFactory) (sim.Result, error) {
+	cfg := sim.DefaultConfig()
+	gen := workload.NewGenerator(app.Params, opts.instructions())
+	// Build a throwaway simulator first to obtain the power model the
+	// factory may need; the real simulator is constructed with the
+	// technique in place.
+	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var tech sim.Technique
+	if factory != nil {
+		tech = factory(app, probe.Power())
+	}
+	s, err := sim.New(cfg, gen, tech)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	name := "base"
+	if tech != nil {
+		name = tech.Name()
+	}
+	return s.Run(app.Params.Name, name), nil
+}
+
+// paperTuningConfig is the evaluated resonance-tuning configuration of
+// Section 5.2: Table 1 detector parameters, initial response threshold 2,
+// second-level threshold 3, second-level hold 35 cycles, first-level
+// response 8→4 issue and 2→1 ports, phantom target at the mid current.
+func paperTuningConfig(initialResponseCycles, delayCycles int) tuning.Config {
+	supply := circuit.Table1()
+	lo, hi := supply.ResonanceBandCycles().HalfPeriods()
+	return tuning.Config{
+		Detector: tuning.DetectorConfig{
+			HalfPeriodLo:           lo,
+			HalfPeriodHi:           hi,
+			ThresholdAmps:          32,
+			MaxRepetitionTolerance: 4,
+		},
+		InitialResponseThreshold: 2,
+		SecondResponseThreshold:  3,
+		InitialResponseCycles:    initialResponseCycles,
+		SecondResponseCycles:     35,
+		ReducedIssueWidth:        4,
+		ReducedCachePorts:        1,
+		ResponseDelayCycles:      delayCycles,
+		PhantomTargetAmps:        70,
+	}
+}

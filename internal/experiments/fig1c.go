@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+)
+
+// Fig1cData holds the impedance sweep of Figure 1(c) for the Section 2
+// example supply (the paper's plot) plus the Table 1 supply used in the
+// evaluation.
+type Fig1cData struct {
+	Example Fig1cSeries
+	Table1  Fig1cSeries
+}
+
+// Fig1cSeries is one supply's impedance curve and derived landmarks.
+type Fig1cSeries struct {
+	Label  string
+	Points []circuit.ImpedancePoint
+	Peak   circuit.ImpedancePoint
+	Chars  circuit.Characteristics
+}
+
+// Fig1c reproduces Figure 1(c): the power-supply impedance as a function
+// of frequency, peaking at the resonant frequency, with the half-energy
+// resonance band marked.
+func Fig1c(Options) (Report, error) {
+	build := func(label string, p circuit.Params) (Fig1cSeries, error) {
+		chars, err := p.Characterize()
+		if err != nil {
+			return Fig1cSeries{}, fmt.Errorf("fig1c: %s: %w", label, err)
+		}
+		f0 := chars.ResonantFrequencyHz
+		pts := p.ImpedanceSweep(0.4*f0, 1.6*f0, 121)
+		return Fig1cSeries{
+			Label:  label,
+			Points: pts,
+			Peak:   circuit.PeakImpedance(pts),
+			Chars:  chars,
+		}, nil
+	}
+	ex, err := build("section-2 example", circuit.Section2Example())
+	if err != nil {
+		return Report{}, err
+	}
+	t1, err := build("table-1 design", circuit.Table1())
+	if err != nil {
+		return Report{}, err
+	}
+	data := &Fig1cData{Example: ex, Table1: t1}
+
+	var b strings.Builder
+	b.WriteString("Figure 1(c): power-supply impedance vs frequency\n\n")
+	for _, s := range []Fig1cSeries{ex, t1} {
+		fmt.Fprintf(&b, "%s: %s\n", s.Label, s.Chars)
+		fmt.Fprintf(&b, "  impedance peak %.3f mΩ at %.1f MHz\n",
+			s.Peak.Ohms*1e3, s.Peak.FrequencyHz/1e6)
+		b.WriteString(asciiImpedance(s))
+		b.WriteByte('\n')
+	}
+	tab := metrics.Table{Headers: []string{"supply", "f (MHz)", "|Z| (mΩ)", "in band"}}
+	for _, s := range []Fig1cSeries{ex, t1} {
+		for i := 0; i < len(s.Points); i += 10 {
+			pt := s.Points[i]
+			in := ""
+			if s.Chars.BandHz.Contains(pt.FrequencyHz) {
+				in = "*"
+			}
+			tab.AddRow(s.Label, fmt.Sprintf("%.1f", pt.FrequencyHz/1e6),
+				fmt.Sprintf("%.3f", pt.Ohms*1e3), in)
+		}
+	}
+	b.WriteString(tab.String())
+	return Report{ID: "fig1c", Text: b.String(), Data: data}, nil
+}
+
+// asciiImpedance renders a small ASCII plot of the impedance curve.
+func asciiImpedance(s Fig1cSeries) string {
+	const rows, cols = 12, 60
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	max := s.Peak.Ohms
+	n := len(s.Points)
+	for c := 0; c < cols; c++ {
+		idx := c * (n - 1) / (cols - 1)
+		h := int(s.Points[idx].Ohms / max * float64(rows-1))
+		grid[rows-1-h][c] = '*'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  +%s\n   %.0f MHz%sto %.0f MHz\n",
+		strings.Repeat("-", cols),
+		s.Points[0].FrequencyHz/1e6,
+		strings.Repeat(" ", cols-16),
+		s.Points[n-1].FrequencyHz/1e6)
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+)
+
+// Figures renders a report's structured data as standalone SVG documents,
+// keyed by file stem (e.g. "fig3-voltage"). Reports without a graphical
+// representation return an empty map.
+func Figures(rep Report) map[string]string {
+	out := map[string]string{}
+	switch d := rep.Data.(type) {
+	case *Fig1cData:
+		for _, s := range []Fig1cSeries{d.Example, d.Table1} {
+			line := plot.Line{
+				Title:  fmt.Sprintf("Figure 1(c): %s impedance", s.Label),
+				XLabel: "frequency (MHz)",
+				YLabel: "|Z| (mΩ)",
+				VBands: [][2]float64{{s.Chars.BandHz.Lo / 1e6, s.Chars.BandHz.Hi / 1e6}},
+			}
+			series := plot.Series{Name: s.Label}
+			for _, pt := range s.Points {
+				series.X = append(series.X, pt.FrequencyHz/1e6)
+				series.Y = append(series.Y, pt.Ohms*1e3)
+			}
+			line.Series = []plot.Series{series}
+			key := "fig1c-table1"
+			if s.Label != "table-1 design" {
+				key = "fig1c-example"
+			}
+			out[key] = line.RenderLine()
+		}
+	case *Fig3Data:
+		out["fig3-voltage"] = waveformSVG("Figure 3: supply deviation under resonant stimulation",
+			"deviation (mV)", d.Deviations, 1000, []float64{50, -50})
+		out["fig3-current"] = waveformSVG("Figure 3: stimulus current",
+			"current (A)", d.Current, 1, nil)
+	case *Fig4Data:
+		out["fig4-voltage"] = waveformSVG("Figure 4: parser supply deviation",
+			"deviation (mV)", d.Deviations, 1000, []float64{50, -50})
+		out["fig4-current"] = waveformSVG("Figure 4: parser core current",
+			"current (A)", d.Current, 1, nil)
+		counts := make([]float64, len(d.EventCount))
+		for i, c := range d.EventCount {
+			counts[i] = float64(c)
+		}
+		out["fig4-count"] = waveformSVG("Figure 4: resonant event count",
+			"count", counts, 1, nil)
+	case *Fig5Data:
+		bar := plot.Bar{
+			Title:    "Figure 5: relative energy-delay by technique",
+			YLabel:   "relative energy-delay",
+			Baseline: 1,
+		}
+		for _, b := range d.Bars {
+			bar.Labels = append(bar.Labels, b.Label[:1]) // A..F
+			bar.Values = append(bar.Values, b.AvgEnergyDelay)
+		}
+		out["fig5"] = bar.RenderBar()
+	case *Table2Data:
+		bar := plot.Bar{Title: "Table 2: IPC by application", YLabel: "IPC"}
+		for _, row := range d.Rows {
+			bar.Labels = append(bar.Labels, row.App[:3])
+			bar.Values = append(bar.Values, row.IPC)
+		}
+		out["table2-ipc"] = bar.RenderBar()
+	case *Table3Data:
+		slow := plot.Series{Name: "avg slowdown"}
+		ed := plot.Series{Name: "avg energy-delay"}
+		for _, r := range d.Rows {
+			if r.DelayCycles != 0 {
+				continue
+			}
+			x := float64(r.InitialResponseCycles)
+			slow.X = append(slow.X, x)
+			slow.Y = append(slow.Y, r.AvgSlowdown)
+			ed.X = append(ed.X, x)
+			ed.Y = append(ed.Y, r.AvgEnergyDelay)
+		}
+		out["table3"] = plot.Line{
+			Title:  "Table 3: resonance tuning vs initial response time",
+			XLabel: "initial response time (cycles)",
+			YLabel: "relative to base",
+			Series: []plot.Series{slow, ed},
+			HLines: []float64{1},
+		}.RenderLine()
+	case *Table5Data:
+		bar := plot.Bar{
+			Title:    "Table 5: pipeline damping vs δ",
+			YLabel:   "relative energy-delay",
+			Baseline: 1,
+		}
+		for _, r := range d.Rows {
+			bar.Labels = append(bar.Labels, fmt.Sprintf("δ=%g", r.DeltaRelative))
+			bar.Values = append(bar.Values, r.AvgEnergyDelay)
+		}
+		out["table5"] = bar.RenderBar()
+	}
+	return out
+}
+
+// waveformSVG renders a per-cycle waveform with optional horizontal
+// reference lines.
+func waveformSVG(title, ylabel string, xs []float64, scale float64, hlines []float64) string {
+	s := plot.Series{Name: ylabel}
+	for i, v := range xs {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, v*scale)
+	}
+	return plot.Line{
+		Title:  title,
+		XLabel: "cycle",
+		YLabel: ylabel,
+		Series: []plot.Series{s},
+		HLines: hlines,
+	}.RenderLine()
+}

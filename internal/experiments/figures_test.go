@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresForWaveformExperiments(t *testing.T) {
+	rep, err := Fig3(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := Figures(rep)
+	for _, key := range []string{"fig3-voltage", "fig3-current"} {
+		svg, ok := figs[key]
+		if !ok {
+			t.Fatalf("missing figure %s (have %v)", key, keysOf(figs))
+		}
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: malformed SVG", key)
+		}
+	}
+	// The voltage figure carries the ±50 mV margin lines.
+	if n := strings.Count(figs["fig3-voltage"], "stroke-dasharray"); n < 2 {
+		t.Errorf("fig3-voltage has %d dashed reference lines, want ≥ 2", n)
+	}
+}
+
+func TestFiguresForImpedance(t *testing.T) {
+	rep, err := Fig1c(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs := Figures(rep)
+	if len(figs) != 2 {
+		t.Fatalf("fig1c produced %d figures, want 2 (%v)", len(figs), keysOf(figs))
+	}
+	for key, svg := range figs {
+		if !strings.Contains(svg, "polyline") {
+			t.Errorf("%s: no curve rendered", key)
+		}
+		// Resonance band shading present.
+		if !strings.Contains(svg, "#fce9a9") {
+			t.Errorf("%s: band shading missing", key)
+		}
+	}
+}
+
+func TestFiguresEmptyForUnplottedData(t *testing.T) {
+	if figs := Figures(Report{ID: "x", Data: nil}); len(figs) != 0 {
+		t.Errorf("nil data produced %d figures", len(figs))
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestHTMLReport(t *testing.T) {
+	rep, err := Fig1c(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := HTMLReport([]Report{rep})
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>", "fig1c", "<svg", "<pre>",
+		"impedance vs frequency",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	// The text block is escaped (report text contains 'Ω' and table
+	// dashes but must not break out of <pre>).
+	if strings.Contains(page, "<pre><svg") {
+		t.Error("SVG leaked into the text block")
+	}
+	// Deterministic figure order.
+	if HTMLReport([]Report{rep}) != page {
+		t.Error("HTML report not deterministic")
+	}
+	// Unknown ids degrade gracefully.
+	if got := HTMLReport([]Report{{ID: "mystery", Text: "?"}}); !strings.Contains(got, "mystery") {
+		t.Error("unknown experiment id dropped")
+	}
+}

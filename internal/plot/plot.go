@@ -1,0 +1,287 @@
+// Package plot renders the repo's experiment data as standalone SVG
+// figures — line charts for waveforms and impedance curves, bar charts
+// for the technique comparison — with no dependencies beyond the standard
+// library. The goal is publication-style regeneration of the paper's
+// figures from `cmd/experiments -svg`.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Line describes a line chart.
+type Line struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// HLines draws horizontal reference lines (e.g. noise margins).
+	HLines []float64
+	// VBands shades vertical bands (e.g. the resonance band).
+	VBands [][2]float64
+	// LogX uses a logarithmic x axis.
+	LogX bool
+}
+
+// Bar describes a bar chart.
+type Bar struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	// Baseline draws a horizontal reference (e.g. 1.0 for relative
+	// metrics).
+	Baseline float64
+}
+
+// geometry of the rendered chart.
+const (
+	width   = 720
+	height  = 420
+	marginL = 70
+	marginR = 20
+	marginT = 40
+	marginB = 55
+)
+
+// palette cycles through line colours.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// esc escapes text for SVG.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+type scale struct {
+	min, max float64
+	lo, hi   float64 // pixel range
+	log      bool
+}
+
+func (s scale) at(v float64) float64 {
+	min, max, x := s.min, s.max, v
+	if s.log {
+		min, max, x = math.Log10(min), math.Log10(max), math.Log10(v)
+	}
+	if max == min {
+		max = min + 1
+	}
+	return s.lo + (x-min)/(max-min)*(s.hi-s.lo)
+}
+
+// niceTicks produces ~n round tick values covering [min, max].
+func niceTicks(min, max float64, n int) []float64 {
+	if max <= min {
+		return []float64{min}
+	}
+	raw := (max - min) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var ticks []float64
+	for v := math.Ceil(min/step) * step; v <= max+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// RenderLine renders the line chart as a complete SVG document.
+func (l Line) RenderLine() string {
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range l.Series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, h := range l.HLines {
+		ymin = math.Min(ymin, h)
+		ymax = math.Max(ymax, h)
+	}
+	if first {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if pad := (ymax - ymin) * 0.06; pad > 0 {
+		ymin -= pad
+		ymax += pad
+	} else {
+		ymin--
+		ymax++
+	}
+
+	xs := scale{min: xmin, max: xmax, lo: marginL, hi: width - marginR, log: l.LogX}
+	ys := scale{min: ymin, max: ymax, lo: height - marginB, hi: marginT}
+
+	var b strings.Builder
+	header(&b, l.Title)
+
+	// Shaded bands first, beneath everything.
+	for _, band := range l.VBands {
+		x0, x1 := xs.at(band[0]), xs.at(band[1])
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#fce9a9" opacity="0.6"/>`+"\n",
+			x0, marginT, x1-x0, height-marginT-marginB)
+	}
+	axes(&b, xs, ys, l.XLabel, l.YLabel, l.LogX)
+	for _, h := range l.HLines {
+		y := ys.at(h)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#c33" stroke-dasharray="6 3"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+	for i, s := range l.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xs.at(s.X[j]), ys.at(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		lx, ly := marginL+12, marginT+16*(i+1)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+28, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// RenderBar renders the bar chart as a complete SVG document.
+func (bc Bar) RenderBar() string {
+	ymin, ymax := 0.0, 1.0
+	for _, v := range bc.Values {
+		ymax = math.Max(ymax, v)
+	}
+	if bc.Baseline > 0 {
+		ymin = math.Max(0, bc.Baseline-0.1*(ymax-bc.Baseline+0.01))
+	}
+	ymax += (ymax - ymin) * 0.08
+
+	ys := scale{min: ymin, max: ymax, lo: height - marginB, hi: marginT}
+	n := len(bc.Values)
+	if n == 0 {
+		n = 1
+	}
+	slot := float64(width-marginL-marginR) / float64(n)
+
+	var b strings.Builder
+	header(&b, bc.Title)
+	axes(&b, scale{min: 0, max: 1, lo: marginL, hi: width - marginR}, ys, "", bc.YLabel, false)
+	if bc.Baseline != 0 {
+		y := ys.at(bc.Baseline)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#555" stroke-dasharray="5 3"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+	for i, v := range bc.Values {
+		x := float64(marginL) + slot*float64(i) + slot*0.15
+		w := slot * 0.7
+		y := ys.at(v)
+		base := ys.at(math.Max(ymin, bc.Baseline))
+		if bc.Baseline == 0 {
+			base = ys.at(ymin)
+		}
+		h := base - y
+		if h < 0 {
+			y, h = base, -h
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, y, w, h, palette[i%len(palette)])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%.3f</text>`+"\n",
+			x+w/2, y-4, v)
+		if i < len(bc.Labels) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x+w/2, height-marginB+16, esc(bc.Labels[i]))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// header opens the SVG document and draws the title.
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(title))
+}
+
+// axes draws the frame, ticks and labels.
+func axes(b *strings.Builder, xs, ys scale, xlabel, ylabel string, logX bool) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#333"/>`+"\n",
+		marginL, marginT, width-marginL-marginR, height-marginT-marginB)
+	// Y ticks.
+	for _, v := range niceTicks(ys.min, ys.max, 6) {
+		y := ys.at(v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, formatTick(v))
+	}
+	// X ticks (skip for bar charts, which pass a unit scale and no label).
+	if xlabel != "" {
+		ticks := niceTicks(xs.min, xs.max, 8)
+		if logX {
+			ticks = nil
+			for d := math.Floor(math.Log10(xs.min)); d <= math.Ceil(math.Log10(xs.max)); d++ {
+				v := math.Pow(10, d)
+				if v >= xs.min && v <= xs.max {
+					ticks = append(ticks, v)
+				}
+			}
+		}
+		for _, v := range ticks {
+			x := xs.at(v)
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999"/>`+"\n",
+				x, height-marginB, x, height-marginB+5)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				x, height-marginB+18, formatTick(v))
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			(marginL+width-marginR)/2, height-12, esc(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			(marginT+height-marginB)/2, (marginT+height-marginB)/2, esc(ylabel))
+	}
+}

@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sine(n int) Series {
+	s := Series{Name: "sine"}
+	for i := 0; i < n; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, math.Sin(float64(i)/10))
+	}
+	return s
+}
+
+func TestLineChartWellFormed(t *testing.T) {
+	l := Line{
+		Title:  "Test <chart> & things",
+		XLabel: "cycle",
+		YLabel: "mV",
+		Series: []Series{sine(200), {Name: "flat", X: []float64{0, 199}, Y: []float64{0.5, 0.5}}},
+		HLines: []float64{0.9, -0.9},
+		VBands: [][2]float64{{40, 80}},
+	}
+	svg := l.RenderLine()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "Test &lt;chart&gt; &amp; things",
+		"sine", "flat", "stroke-dasharray", "<rect",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// No raw NaN/Inf coordinates.
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(svg, bad) {
+			t.Errorf("SVG contains %s", bad)
+		}
+	}
+}
+
+func TestLineChartLogX(t *testing.T) {
+	s := Series{Name: "z"}
+	for f := 1e6; f <= 1e9; f *= 1.3 {
+		s.X = append(s.X, f)
+		s.Y = append(s.Y, 1/f)
+	}
+	l := Line{Title: "log", XLabel: "Hz", YLabel: "ohm", Series: []Series{s}, LogX: true}
+	svg := l.RenderLine()
+	// Decade ticks appear.
+	if !strings.Contains(svg, "1e+06") && !strings.Contains(svg, "1.0e+06") {
+		t.Errorf("log decade ticks missing:\n%.300s", svg)
+	}
+}
+
+func TestEmptyLineChartStillRenders(t *testing.T) {
+	svg := Line{Title: "empty"}.RenderLine()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("unterminated SVG")
+	}
+}
+
+func TestBarChartWellFormed(t *testing.T) {
+	b := Bar{
+		Title:    "Energy-delay",
+		YLabel:   "relative",
+		Labels:   []string{"A", "B", "C"},
+		Values:   []float64{1.032, 1.127, 1.638},
+		Baseline: 1,
+	}
+	svg := b.RenderBar()
+	if strings.Count(svg, "<rect") < 4 { // background + frame + 3 bars... at least bars
+		t.Errorf("too few rects:\n%.200s", svg)
+	}
+	for _, want := range []string{"1.032", "1.127", "1.638", "A", "B", "C", "relative"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	svg := Bar{Title: "none"}.RenderBar()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("unterminated SVG")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 5)
+	if len(ticks) < 3 || ticks[0] != 0 {
+		t.Errorf("ticks %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		150:  "150",
+		2.5:  "2.5",
+		1e-4: "1.0e-04",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := scale{min: 0, max: 10, lo: 100, hi: 200}
+	if got := s.at(5); math.Abs(got-150) > 1e-9 {
+		t.Errorf("linear midpoint %g", got)
+	}
+	ls := scale{min: 1, max: 100, lo: 0, hi: 100, log: true}
+	if got := ls.at(10); math.Abs(got-50) > 1e-9 {
+		t.Errorf("log midpoint %g", got)
+	}
+}

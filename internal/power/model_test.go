@@ -1,0 +1,261 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func newModel() *Model { return New(DefaultConfig(), cpu.DefaultConfig()) }
+
+// fullActivity returns an Activity with every unit at capacity.
+func fullActivity(cc cpu.Config) cpu.Activity {
+	var act cpu.Activity
+	act.Fetched = cc.FetchWidth
+	act.Dispatched = cc.DecodeWidth
+	act.Committed = cc.CommitWidth
+	act.Issued[cpu.IntALU] = cc.IntALUs
+	act.Issued[cpu.IntMul] = cc.IntMuls
+	act.Issued[cpu.FPALU] = cc.FPALUs
+	act.Issued[cpu.FPMul] = cc.FPMuls
+	act.IssuedTotal = cc.IssueWidth
+	act.L1D = cc.CachePorts
+	act.L2 = 1
+	act.Mem = 1
+	return act
+}
+
+func TestIdleCycleDrawsIdleCurrent(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 100; i++ {
+		e := m.Step(cpu.Activity{}, 0)
+		amps := m.CurrentAmps(e)
+		if math.Abs(amps-35) > 1e-9 {
+			t.Fatalf("idle cycle %d draws %g A, want 35", i, amps)
+		}
+	}
+}
+
+func TestSustainedFullActivityApproachesPeak(t *testing.T) {
+	m := newModel()
+	act := fullActivity(cpu.DefaultConfig())
+	var amps float64
+	for i := 0; i < 100; i++ {
+		amps = m.CurrentAmps(m.Step(act, 0))
+	}
+	// With all spreads in steady state the full-capacity cycle must
+	// draw the full 105 A.
+	if math.Abs(amps-105) > 0.5 {
+		t.Errorf("sustained full activity draws %g A, want ≈ 105", amps)
+	}
+}
+
+func TestCurrentBoundedByPeak(t *testing.T) {
+	m := newModel()
+	act := fullActivity(cpu.DefaultConfig())
+	// Overdrive the counters: the model must clamp to unit capacity.
+	act.Fetched *= 10
+	act.IssuedTotal *= 10
+	act.L1D *= 10
+	act.L2 = 50
+	act.Mem = 50
+	for i := 0; i < 200; i++ {
+		amps := m.CurrentAmps(m.Step(act, 0))
+		if amps > m.PeakAmps()+1e-9 {
+			t.Fatalf("cycle %d draws %g A, exceeding peak %g", i, amps, m.PeakAmps())
+		}
+	}
+}
+
+func TestEnergyConservedUnderSpreading(t *testing.T) {
+	// One burst cycle followed by idle: total energy must equal the
+	// burst energy plus idle floors, regardless of how it is spread.
+	cc := cpu.DefaultConfig()
+	burst := fullActivity(cc)
+
+	spread := New(DefaultConfig(), cc)
+	spread.Step(burst, 0)
+	for i := 0; i < spreadRing; i++ {
+		spread.Step(cpu.Activity{}, 0)
+	}
+
+	cfg := DefaultConfig()
+	wantDynamic := (cfg.PeakWatts - cfg.IdleWatts) / cfg.ClockHz // one full cycle of net dynamic energy
+	wantTotal := float64(spreadRing+1)*cfg.IdleWatts/cfg.ClockHz + wantDynamic
+	if got := spread.TotalJoules(); math.Abs(got-wantTotal)/wantTotal > 1e-9 {
+		t.Errorf("total energy %g J, want %g J", got, wantTotal)
+	}
+	if spread.Cycles() != spreadRing+1 {
+		t.Errorf("cycles %d, want %d", spread.Cycles(), spreadRing+1)
+	}
+}
+
+func TestSpreadingSmoothsCurrent(t *testing.T) {
+	// An L2+memory access burst should not land all in one cycle.
+	m := newModel()
+	var act cpu.Activity
+	act.L2, act.Mem = 1, 1
+	first := m.CurrentAmps(m.Step(act, 0))
+	second := m.CurrentAmps(m.Step(cpu.Activity{}, 0))
+	if second <= m.IdleAmps() {
+		t.Error("no residual energy in the cycle after a memory access")
+	}
+	if first >= m.IdleAmps()+(m.PeakAmps()-m.IdleAmps())*0.08 {
+		t.Errorf("memory access energy insufficiently spread: first cycle %g A", first)
+	}
+	_ = second
+}
+
+func TestPhantomAmpsAddExactly(t *testing.T) {
+	m1, m2 := newModel(), newModel()
+	e1 := m1.Step(cpu.Activity{}, 0)
+	e2 := m2.Step(cpu.Activity{}, 25)
+	diff := m2.CurrentAmps(e2) - m1.CurrentAmps(e1)
+	if math.Abs(diff-25) > 1e-9 {
+		t.Errorf("phantom 25 A added %g A", diff)
+	}
+}
+
+func TestDerivedCurrents(t *testing.T) {
+	m := newModel()
+	if m.IdleAmps() != 35 || m.PeakAmps() != 105 {
+		t.Errorf("idle/peak = %g/%g, want 35/105", m.IdleAmps(), m.PeakAmps())
+	}
+	if m.MidAmps() != 70 {
+		t.Errorf("mid = %g, want 70", m.MidAmps())
+	}
+	pf := m.PhantomFireAmps()
+	if pf <= 0 || pf >= m.PeakAmps()-m.IdleAmps() {
+		t.Errorf("phantom-fire amps %g out of range (0, %g)", pf, m.PeakAmps()-m.IdleAmps())
+	}
+}
+
+func TestClassAmpsOrdering(t *testing.T) {
+	m := newModel()
+	amps := m.ClassAmps()
+	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
+		if amps[cl] <= 0 {
+			t.Errorf("class %v estimate %g, want positive", cl, amps[cl])
+		}
+	}
+	if amps[cpu.IntMul] <= amps[cpu.IntALU] {
+		t.Error("multiply should cost more than ALU op")
+	}
+	if amps[cpu.Store] <= amps[cpu.Load] {
+		t.Error("store (ALU+cache) should cost more than load (cache)")
+	}
+}
+
+func TestMoreActivityMoreCurrent(t *testing.T) {
+	levels := []int{0, 2, 4, 8}
+	prev := -1.0
+	for _, n := range levels {
+		m := newModel()
+		var act cpu.Activity
+		act.Issued[cpu.IntALU] = n
+		act.IssuedTotal = n
+		act.Fetched = n
+		act.Dispatched = n
+		act.Committed = n
+		var amps float64
+		for i := 0; i < 20; i++ {
+			amps = m.CurrentAmps(m.Step(act, 0))
+		}
+		if amps <= prev {
+			t.Errorf("current %g A at activity %d not above %g", amps, n, prev)
+		}
+		prev = amps
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Vdd = 0 },
+		func(c *Config) { c.ClockHz = -1 },
+		func(c *Config) { c.IdleWatts = 0 },
+		func(c *Config) { c.PeakWatts = c.IdleWatts },
+		func(c *Config) { c.GatedResidual = 1 },
+		func(c *Config) { c.GatedResidual = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Vdd = 0
+	New(cfg, cpu.DefaultConfig())
+}
+
+func TestUnitString(t *testing.T) {
+	seen := map[string]bool{}
+	for u := Unit(0); u < NumUnits; u++ {
+		s := u.String()
+		if s == "" || seen[s] {
+			t.Errorf("unit %d name %q invalid or duplicate", u, s)
+		}
+		seen[s] = true
+	}
+	if Unit(99).String() == "" {
+		t.Error("out-of-range unit should still render")
+	}
+}
+
+func TestBudgetFractionsSumToOne(t *testing.T) {
+	sum := 0.0
+	for u := Unit(0); u < NumUnits; u++ {
+		sum += budgetFraction[u]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("budget fractions sum to %g, want 1", sum)
+	}
+}
+
+func TestSpreadWindowsFitRing(t *testing.T) {
+	for u := Unit(0); u < NumUnits; u++ {
+		if spreadCycles[u] < 1 || spreadCycles[u] > spreadRing {
+			t.Errorf("unit %v spread %d outside [1,%d]", u, spreadCycles[u], spreadRing)
+		}
+	}
+}
+
+func TestBreakdownAccountsForEverything(t *testing.T) {
+	m := newModel()
+	act := fullActivity(cpu.DefaultConfig())
+	for i := 0; i < 50; i++ {
+		m.Step(act, 0)
+	}
+	for i := 0; i < spreadRing; i++ {
+		m.Step(cpu.Activity{}, 0) // drain the spreading ring
+	}
+	floorJ, unitJ := m.Breakdown()
+	sum := floorJ
+	for u := Unit(0); u < NumUnits; u++ {
+		if unitJ[u] < 0 {
+			t.Errorf("unit %v negative energy", u)
+		}
+		sum += unitJ[u]
+	}
+	if math.Abs(sum-m.TotalJoules())/m.TotalJoules() > 1e-9 {
+		t.Errorf("breakdown sum %g != total %g", sum, m.TotalJoules())
+	}
+	// The floor dominates an idle-heavy run; dynamic shares follow the
+	// budget fractions under full activity.
+	if unitJ[UnitWindow] <= unitJ[UnitIntMul] {
+		t.Error("window (15%) should out-consume intmul (4%) at full activity")
+	}
+}

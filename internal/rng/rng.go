@@ -1,0 +1,72 @@
+// Package rng provides a tiny, fast, deterministic pseudo-random number
+// generator (xorshift64*) used by the synthetic workloads and the sensor
+// noise models. Determinism matters here: every experiment in the repo
+// must be exactly reproducible, so all randomness flows from explicit
+// seeds through this generator rather than math/rand's global state.
+package rng
+
+// Source is a xorshift64* generator. The zero value is invalid; construct
+// with New.
+type Source struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant, since the all-zero state is absorbing).
+func New(seed uint64) *Source {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Source{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (values >= 1). Used for dependency distances.
+func (s *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for s.Float64() > p && n < 1<<12 {
+		n++
+	}
+	return n
+}
+
+// Bernoulli reports true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Source) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}

@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10_000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	sum := 0.0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) produced only %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(13)
+	const n = 50_000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(4)
+	}
+	if mean := float64(sum) / n; math.Abs(mean-4) > 0.2 {
+		t.Errorf("geometric mean %g, want ≈ 4", mean)
+	}
+	if s.Geometric(0.5) != 1 {
+		t.Error("geometric with mean <= 1 should return 1")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(17)
+	const n = 100_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if rate := float64(hits) / n; math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate %g", rate)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(42, 60)
+		if v < 42 || v > 60 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+	}
+	if s.Range(5, 5) != 5 {
+		t.Error("degenerate range should return its endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(hi<lo) did not panic")
+		}
+	}()
+	s.Range(2, 1)
+}

@@ -1,0 +1,135 @@
+// Package sensor models the on-die measurement hardware the inductive-
+// noise techniques depend on.
+//
+// Resonance tuning senses processor core current directly (paper §2.1.4):
+// a few MAGFET-style sensors at the roots of the supply network, coarse
+// whole-amp resolution, running at core clock speed. The technique of
+// [10] instead senses supply voltage, which in a real implementation
+// suffers from limited precision (tens of millivolts), peak-to-peak
+// sensor noise, and a sensing/actuation delay; all three are modelled
+// here because Table 4 of the paper sweeps them.
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Current models the on-die current sensor used by resonance tuning. It
+// quantises the true core current to a configurable resolution and can
+// delay its readings by a fixed number of cycles.
+type Current struct {
+	// ResolutionAmps is the quantisation step (1 A in the paper; the
+	// sensor ablation sweeps it). Non-positive means exact readings.
+	ResolutionAmps float64
+	// DelayCycles postpones readings: the value returned at cycle c is
+	// the true current at cycle c-DelayCycles. Zero means immediate.
+	DelayCycles int
+
+	history []float64
+	pos     int
+	filled  bool
+}
+
+// NewCurrent returns a whole-amp, zero-delay current sensor.
+func NewCurrent() *Current { return &Current{ResolutionAmps: 1} }
+
+// NewCurrentDelayed returns a whole-amp sensor with the given reading
+// delay in cycles.
+func NewCurrentDelayed(delay int) *Current {
+	c := &Current{ResolutionAmps: 1, DelayCycles: delay}
+	c.init()
+	return c
+}
+
+func (c *Current) init() {
+	if c.DelayCycles > 0 && c.history == nil {
+		c.history = make([]float64, c.DelayCycles)
+	}
+}
+
+// Read quantises (and possibly delays) the true current for this cycle.
+// Call exactly once per cycle.
+func (c *Current) Read(trueAmps float64) float64 {
+	v := trueAmps
+	if c.DelayCycles > 0 {
+		c.init()
+		old := c.history[c.pos]
+		c.history[c.pos] = trueAmps
+		c.pos = (c.pos + 1) % c.DelayCycles
+		if !c.filled {
+			// Before the pipe fills, report the oldest value we have
+			// seen, i.e. the first sample.
+			if c.pos == 0 {
+				c.filled = true
+			}
+			old = c.history[0]
+		}
+		v = old
+	}
+	if c.ResolutionAmps > 0 {
+		v = math.Round(v/c.ResolutionAmps) * c.ResolutionAmps
+	}
+	return v
+}
+
+// Voltage models the supply-voltage sensor of [10]: readings carry
+// uniform peak-to-peak noise and arrive after a fixed delay. The sensed
+// quantity is the supply deviation from Vdd in volts.
+type Voltage struct {
+	// NoisePeakToPeak is the total width of the uniform sensor noise in
+	// volts (Table 4 uses 10-15 mV).
+	NoisePeakToPeak float64
+	// DelayCycles is the lag between a deviation occurring and the
+	// control logic seeing it (Table 4 uses 3-5 cycles).
+	DelayCycles int
+
+	rng     *rng.Source
+	history []float64
+	pos     int
+	filled  bool
+}
+
+// NewVoltage returns a voltage sensor with the given noise (volts,
+// peak-to-peak), delay (cycles) and noise seed.
+func NewVoltage(noisePP float64, delay int, seed uint64) *Voltage {
+	v := &Voltage{NoisePeakToPeak: noisePP, DelayCycles: delay, rng: rng.New(seed)}
+	if delay > 0 {
+		v.history = make([]float64, delay)
+	}
+	return v
+}
+
+// Read returns the sensed deviation for this cycle given the true
+// deviation. Call exactly once per cycle.
+func (v *Voltage) Read(trueVolts float64) float64 {
+	s := trueVolts
+	if v.DelayCycles > 0 {
+		old := v.history[v.pos]
+		v.history[v.pos] = trueVolts
+		v.pos = (v.pos + 1) % v.DelayCycles
+		if !v.filled {
+			if v.pos == 0 {
+				v.filled = true
+			}
+			old = v.history[0]
+		}
+		s = old
+	}
+	if v.NoisePeakToPeak > 0 {
+		s += (v.rng.Float64() - 0.5) * v.NoisePeakToPeak
+	}
+	return s
+}
+
+// EffectiveThreshold returns the usable detection threshold once sensor
+// noise eats into the target: target minus half the peak-to-peak noise
+// (Table 4's "actual threshold" column).
+func EffectiveThreshold(targetVolts, noisePP float64) float64 {
+	t := targetVolts - noisePP/2
+	if t < 0 {
+		return 0
+	}
+	return t
+}

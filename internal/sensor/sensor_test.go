@@ -1,0 +1,111 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurrentQuantisesToWholeAmps(t *testing.T) {
+	s := NewCurrent()
+	cases := []struct{ in, want float64 }{
+		{70.2, 70}, {70.6, 71}, {69.5, 70}, {0.4, 0}, {-3.7, -4},
+	}
+	for _, tc := range cases {
+		if got := s.Read(tc.in); got != tc.want {
+			t.Errorf("Read(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCurrentCustomResolution(t *testing.T) {
+	s := &Current{ResolutionAmps: 4}
+	if got := s.Read(70.2); got != 72 {
+		t.Errorf("4A resolution Read(70.2) = %g, want 72", got)
+	}
+	exact := &Current{ResolutionAmps: 0}
+	if got := exact.Read(70.2); got != 70.2 {
+		t.Errorf("exact sensor Read(70.2) = %g, want 70.2", got)
+	}
+}
+
+func TestCurrentDelay(t *testing.T) {
+	s := NewCurrentDelayed(3)
+	inputs := []float64{10, 20, 30, 40, 50, 60}
+	var got []float64
+	for _, in := range inputs {
+		got = append(got, s.Read(in))
+	}
+	// After the pipe fills, reading i returns input i-3.
+	for i := 3; i < len(inputs); i++ {
+		if got[i] != inputs[i-3] {
+			t.Errorf("delayed read %d = %g, want %g", i, got[i], inputs[i-3])
+		}
+	}
+	// Warm-up readings hold the first sample rather than garbage.
+	for i := 0; i < 3; i++ {
+		if got[i] != inputs[0] {
+			t.Errorf("warm-up read %d = %g, want %g", i, got[i], inputs[0])
+		}
+	}
+}
+
+func TestVoltageNoiseBounds(t *testing.T) {
+	const noise = 0.015
+	v := NewVoltage(noise, 0, 1)
+	worst := 0.0
+	for i := 0; i < 10_000; i++ {
+		d := v.Read(0.020) - 0.020
+		if a := math.Abs(d); a > worst {
+			worst = a
+		}
+		if math.Abs(d) > noise/2+1e-12 {
+			t.Fatalf("noise excursion %g exceeds ±%g", d, noise/2)
+		}
+	}
+	if worst < noise*0.4 {
+		t.Errorf("noise never approached its bound: worst %g", worst)
+	}
+}
+
+func TestVoltageNoiseDeterministic(t *testing.T) {
+	a := NewVoltage(0.010, 0, 99)
+	b := NewVoltage(0.010, 0, 99)
+	for i := 0; i < 100; i++ {
+		if a.Read(0.01) != b.Read(0.01) {
+			t.Fatal("same-seed voltage sensors diverged")
+		}
+	}
+}
+
+func TestVoltageDelay(t *testing.T) {
+	v := NewVoltage(0, 2, 1)
+	inputs := []float64{0.01, 0.02, 0.03, 0.04}
+	var got []float64
+	for _, in := range inputs {
+		got = append(got, v.Read(in))
+	}
+	if got[2] != inputs[0] || got[3] != inputs[1] {
+		t.Errorf("delayed voltage reads %v, want shifted by 2", got)
+	}
+}
+
+func TestVoltageNoDelayNoNoisePassthrough(t *testing.T) {
+	v := NewVoltage(0, 0, 1)
+	if got := v.Read(0.0421); got != 0.0421 {
+		t.Errorf("passthrough Read = %g", got)
+	}
+}
+
+func TestEffectiveThreshold(t *testing.T) {
+	cases := []struct{ target, noise, want float64 }{
+		{0.030, 0.015, 0.0225},
+		{0.020, 0.010, 0.015},
+		{0.020, 0.015, 0.0125},
+		{0.010, 0.040, 0}, // noise swamps the target: clamp at zero
+	}
+	for _, tc := range cases {
+		if got := EffectiveThreshold(tc.target, tc.noise); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("EffectiveThreshold(%g,%g) = %g, want %g", tc.target, tc.noise, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package sim couples the pipeline model, the power model, the
+// power-supply circuit, and an (optional) inductive-noise control
+// technique into the per-cycle simulation loop of the paper's
+// methodology (Section 4):
+//
+//	throttle → core cycle → activity → power/current → supply voltage
+//	→ sensors → technique → next throttle
+//
+// Phantom operations requested by a technique (the second-level response
+// of resonance tuning, the phantom-fire of [10], damping's make-up
+// current) are added to the cycle's current and energy but perform no
+// work. Noise-margin violations are counted from the simulated supply
+// deviation each cycle.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/sensor"
+)
+
+// supplySim is the power-distribution-network behaviour the loop needs;
+// both the single-stage Figure 1(b) model and the two-stage Section 2.2
+// model satisfy it.
+type supplySim interface {
+	Step(icpu float64) float64
+	Violated(dev float64) bool
+}
+
+// Phantom describes the phantom-operation current a technique wants this
+// cycle. At most one of the fields is non-zero.
+type Phantom struct {
+	// TargetAmps, when positive, tops the core current up to this level
+	// (resonance tuning's second-level response holds a medium level).
+	TargetAmps float64
+	// FireAmps, when positive, injects exactly this much extra current
+	// (the high-voltage phantom-fire response of [10]).
+	FireAmps float64
+}
+
+// Observation is everything a technique may see after a simulated cycle.
+type Observation struct {
+	// Cycle is the index of the cycle just simulated.
+	Cycle uint64
+	// SensedAmps is the core current as reported by the on-die current
+	// sensor (whole-amp precision).
+	SensedAmps float64
+	// TotalAmps is the true core current including phantom operations.
+	TotalAmps float64
+	// DeviationVolts is the true supply deviation (IR drop removed).
+	DeviationVolts float64
+	// IssuedEstAmps is the summed a-priori current estimate of the
+	// instructions issued this cycle (what damping accounts).
+	IssuedEstAmps float64
+	// Activity is the pipeline activity of the cycle.
+	Activity cpu.Activity
+}
+
+// Technique is an inductive-noise control scheme plugged into the loop.
+// Implementations adapt the tuning, voltctl, and damping controllers.
+type Technique interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Next returns the pipeline throttle and phantom request for the
+	// coming cycle.
+	Next() (cpu.Throttle, Phantom)
+	// Observe delivers the cycle's outcomes so the technique can decide
+	// its next response.
+	Observe(obs Observation)
+}
+
+// Config assembles a simulation.
+type Config struct {
+	CPU    cpu.Config
+	Power  power.Config
+	Supply circuit.Params
+	// TwoStageSupply, when non-nil, replaces Supply with the full
+	// two-loop network of Section 2.2, exhibiting both the low- and
+	// medium-frequency resonances.
+	TwoStageSupply *circuit.TwoStageParams
+	// SensorDelayCycles delays the current sensor readings fed to the
+	// technique (resonance tuning tolerates several cycles).
+	SensorDelayCycles int
+	// SensorResolutionAmps sets the current-sensor quantisation step;
+	// zero means the paper's whole-amp sensors. Negative means exact
+	// readings.
+	SensorResolutionAmps float64
+	// MaxCycles bounds the simulation; zero means a generous default
+	// derived from the instruction stream (guards against livelock).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper's evaluation system: the Table 1 core,
+// power envelope, and supply.
+func DefaultConfig() Config {
+	return Config{
+		CPU:    cpu.DefaultConfig(),
+		Power:  power.DefaultConfig(),
+		Supply: circuit.Table1(),
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	App       string
+	Technique string
+
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// EnergyJ is total energy including phantom operations.
+	EnergyJ float64
+	// PhantomJ is the part of EnergyJ spent on phantom operations.
+	PhantomJ float64
+
+	Violations        uint64
+	ViolationFraction float64
+	PeakDeviationV    float64
+
+	MeanAmps float64
+	MinAmps  float64
+	MaxAmps  float64
+}
+
+// EnergyDelay returns the energy-delay product in joule-seconds, using
+// the supply clock to convert cycles to seconds.
+func (r Result) EnergyDelay(clockHz float64) float64 {
+	return r.EnergyJ * float64(r.Cycles) / clockHz
+}
+
+// TracePoint is one cycle of a captured waveform (for Figures 3 and 4).
+type TracePoint struct {
+	Cycle          uint64
+	TotalAmps      float64
+	DeviationVolts float64
+	EventCount     int
+	ResponseLevel  int
+}
+
+// Simulator runs one application under one technique.
+type Simulator struct {
+	cfg    Config
+	core   *cpu.Core
+	pwr    *power.Model
+	supply supplySim
+	sens   *sensor.Current
+	tech   Technique
+
+	classAmps [cpu.NumClasses]float64
+	phantomJ  float64
+
+	trace     func(TracePoint)
+	countFn   func() int // technique's event count for tracing
+	levelFn   func() int
+	violation uint64
+	peakDev   float64
+	sumAmps   float64
+	minAmps   float64
+	maxAmps   float64
+	cycles    uint64
+}
+
+// New builds a simulator for the given instruction source and technique.
+// tech may be nil for the base (uncontrolled) processor.
+func New(cfg Config, src cpu.Source, tech Technique) (*Simulator, error) {
+	if err := cfg.CPU.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Supply.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.TwoStageSupply != nil {
+		if err := cfg.TwoStageSupply.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	pwr := power.New(cfg.Power, cfg.CPU)
+	core := cpu.New(cfg.CPU, src)
+	core.SetClassCurrentEstimates(pwr.ClassAmps())
+	var sens *sensor.Current
+	if cfg.SensorDelayCycles > 0 {
+		sens = sensor.NewCurrentDelayed(cfg.SensorDelayCycles)
+	} else {
+		sens = sensor.NewCurrent()
+	}
+	switch {
+	case cfg.SensorResolutionAmps > 0:
+		sens.ResolutionAmps = cfg.SensorResolutionAmps
+	case cfg.SensorResolutionAmps < 0:
+		sens.ResolutionAmps = 0 // exact
+	}
+	var supply supplySim
+	if cfg.TwoStageSupply != nil {
+		supply = circuit.NewTwoStageSimulator(*cfg.TwoStageSupply, pwr.IdleAmps())
+	} else {
+		supply = circuit.NewSimulator(cfg.Supply, pwr.IdleAmps())
+	}
+	return &Simulator{
+		cfg:       cfg,
+		core:      core,
+		pwr:       pwr,
+		supply:    supply,
+		sens:      sens,
+		tech:      tech,
+		classAmps: pwr.ClassAmps(),
+		minAmps:   math.Inf(1),
+		maxAmps:   math.Inf(-1),
+	}, nil
+}
+
+// Power exposes the power model (for technique setup needing PhantomFire
+// or mid-level amps).
+func (s *Simulator) Power() *power.Model { return s.pwr }
+
+// Core exposes the pipeline model.
+func (s *Simulator) Core() *cpu.Core { return s.core }
+
+// SetTrace installs a per-cycle trace callback, plus optional functions
+// reporting the technique's resonant event count and response level.
+func (s *Simulator) SetTrace(f func(TracePoint), count func() int, level func() int) {
+	s.trace = f
+	s.countFn = count
+	s.levelFn = level
+}
+
+// StepCycle advances the whole system one clock cycle.
+func (s *Simulator) StepCycle() {
+	throttle := cpu.Unlimited
+	var ph Phantom
+	if s.tech != nil {
+		throttle, ph = s.tech.Next()
+	}
+	act := s.core.Step(throttle)
+	coreJ := s.pwr.Step(act, 0)
+	coreAmps := s.pwr.CurrentAmps(coreJ)
+
+	phantomAmps := 0.0
+	switch {
+	case ph.TargetAmps > 0 && coreAmps < ph.TargetAmps:
+		phantomAmps = ph.TargetAmps - coreAmps
+	case ph.FireAmps > 0:
+		phantomAmps = ph.FireAmps
+	}
+	if phantomAmps > 0 {
+		s.phantomJ += phantomAmps * s.cfg.Power.Vdd / s.cfg.Power.ClockHz
+	}
+	totalAmps := coreAmps + phantomAmps
+
+	dev := s.supply.Step(totalAmps)
+	if a := math.Abs(dev); a > s.peakDev {
+		s.peakDev = a
+	}
+	if s.supply.Violated(dev) {
+		s.violation++
+	}
+
+	est := 0.0
+	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
+		if n := act.Issued[cl]; n > 0 {
+			est += float64(n) * s.classAmps[cl]
+		}
+	}
+	sensed := s.sens.Read(totalAmps)
+	if s.tech != nil {
+		s.tech.Observe(Observation{
+			Cycle:          s.cycles,
+			SensedAmps:     sensed,
+			TotalAmps:      totalAmps,
+			DeviationVolts: dev,
+			IssuedEstAmps:  est,
+			Activity:       act,
+		})
+	}
+
+	s.sumAmps += totalAmps
+	if totalAmps < s.minAmps {
+		s.minAmps = totalAmps
+	}
+	if totalAmps > s.maxAmps {
+		s.maxAmps = totalAmps
+	}
+	if s.trace != nil {
+		tp := TracePoint{Cycle: s.cycles, TotalAmps: totalAmps, DeviationVolts: dev}
+		if s.countFn != nil {
+			tp.EventCount = s.countFn()
+		}
+		if s.levelFn != nil {
+			tp.ResponseLevel = s.levelFn()
+		}
+		s.trace(tp)
+	}
+	s.cycles++
+}
+
+// Run simulates until the instruction stream drains (or MaxCycles) and
+// returns the result. appName and techName label the result.
+func (s *Simulator) Run(appName, techName string) Result {
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1 << 62
+	}
+	for !s.core.Done() && s.cycles < maxCycles {
+		s.StepCycle()
+	}
+	res := Result{
+		App:            appName,
+		Technique:      techName,
+		Cycles:         s.cycles,
+		Instructions:   s.core.Committed(),
+		IPC:            s.core.IPC(),
+		EnergyJ:        s.pwr.TotalJoules() + s.phantomJ,
+		PhantomJ:       s.phantomJ,
+		Violations:     s.violation,
+		PeakDeviationV: s.peakDev,
+	}
+	if s.cycles > 0 {
+		res.ViolationFraction = float64(s.violation) / float64(s.cycles)
+		res.MeanAmps = s.sumAmps / float64(s.cycles)
+		res.MinAmps = s.minAmps
+		res.MaxAmps = s.maxAmps
+	}
+	return res
+}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"repro/internal/baselines/convctl"
+	"repro/internal/baselines/damping"
+	"repro/internal/baselines/voltctl"
+	"repro/internal/baselines/wavelet"
+	"repro/internal/cpu"
+	"repro/internal/tuning"
+)
+
+// ResonanceTuning adapts the tuning controller (the paper's contribution)
+// to the simulation loop: it senses core current and applies the
+// two-tier response.
+type ResonanceTuning struct {
+	ctrl *tuning.Controller
+	next tuning.Response
+}
+
+// NewResonanceTuning returns the technique for the given configuration.
+func NewResonanceTuning(cfg tuning.Config) *ResonanceTuning {
+	return &ResonanceTuning{
+		ctrl: tuning.NewController(cfg),
+		next: tuning.Response{Throttle: cpu.Unlimited},
+	}
+}
+
+// Name implements Technique.
+func (t *ResonanceTuning) Name() string { return "resonance-tuning" }
+
+// Next implements Technique.
+func (t *ResonanceTuning) Next() (cpu.Throttle, Phantom) {
+	return t.next.Throttle, Phantom{TargetAmps: t.next.PhantomTargetAmps}
+}
+
+// Observe implements Technique.
+func (t *ResonanceTuning) Observe(obs Observation) {
+	t.next = t.ctrl.Step(obs.SensedAmps)
+}
+
+// Stats returns the controller statistics (Table 3 columns).
+func (t *ResonanceTuning) Stats() tuning.Stats { return t.ctrl.Stats() }
+
+// EventCount returns the current resonant event count (for traces).
+func (t *ResonanceTuning) EventCount() int { return t.ctrl.Detector().CountNow() }
+
+// Level returns the active response level (for traces).
+func (t *ResonanceTuning) Level() int { return int(t.next.Level) }
+
+// VoltageControl adapts the technique of [10]: voltage-threshold sensing
+// with stall / phantom-fire responses.
+type VoltageControl struct {
+	ctrl     *voltctl.Controller
+	fireAmps float64
+	next     voltctl.Response
+}
+
+// NewVoltageControl returns the technique; fireAmps is the current of
+// phantom-firing the caches and functional units (power.PhantomFireAmps).
+func NewVoltageControl(cfg voltctl.Config, fireAmps float64) *VoltageControl {
+	return &VoltageControl{
+		ctrl:     voltctl.New(cfg),
+		fireAmps: fireAmps,
+		next:     voltctl.Response{Throttle: cpu.Unlimited},
+	}
+}
+
+// Name implements Technique.
+func (t *VoltageControl) Name() string { return "voltage-control" }
+
+// Next implements Technique.
+func (t *VoltageControl) Next() (cpu.Throttle, Phantom) {
+	var ph Phantom
+	if t.next.PhantomFire {
+		ph.FireAmps = t.fireAmps
+	}
+	return t.next.Throttle, ph
+}
+
+// Observe implements Technique.
+func (t *VoltageControl) Observe(obs Observation) {
+	t.next = t.ctrl.Step(obs.DeviationVolts)
+}
+
+// Stats returns the controller statistics (Table 4 columns).
+func (t *VoltageControl) Stats() voltctl.Stats { return t.ctrl.Stats() }
+
+// Level reports 1 while responding (for traces).
+func (t *VoltageControl) Level() int {
+	if t.next.InResponse {
+		return 1
+	}
+	return 0
+}
+
+// Damping adapts pipeline damping [14]: a per-cycle issue-current budget
+// derived from a-priori class estimates, with phantom make-up current
+// when the window undershoots. The make-up current computed for a cycle
+// is injected on the following cycle, mirroring the one-cycle actuation
+// lag of a real implementation.
+type Damping struct {
+	ctrl          *damping.Controller
+	pendingAmps   float64
+	warmupPending bool
+}
+
+// NewDamping returns the technique for the given configuration.
+func NewDamping(cfg damping.Config) *Damping {
+	return &Damping{ctrl: damping.New(cfg)}
+}
+
+// Name implements Technique.
+func (t *Damping) Name() string { return "pipeline-damping" }
+
+// Next implements Technique.
+func (t *Damping) Next() (cpu.Throttle, Phantom) {
+	th := cpu.Unlimited
+	if amps, limited := t.ctrl.Budget(); limited {
+		th.IssueCurrentBudget = amps
+	}
+	ph := Phantom{FireAmps: t.pendingAmps}
+	t.pendingAmps = 0
+	return th, ph
+}
+
+// Observe implements Technique.
+func (t *Damping) Observe(obs Observation) {
+	t.pendingAmps = t.ctrl.Account(obs.IssuedEstAmps)
+}
+
+// Stats returns the controller statistics (Table 5 analysis).
+func (t *Damping) Stats() damping.Stats { return t.ctrl.Stats() }
+
+// ConvolutionControl adapts the convolution-prediction technique of [8]:
+// predict the supply deviation by convolving the current history with the
+// supply's impulse response, and stall or phantom-fire on threatening
+// predictions.
+type ConvolutionControl struct {
+	ctrl     *convctl.Controller
+	fireAmps float64
+	next     convctl.Response
+}
+
+// NewConvolutionControl returns the technique; fireAmps is the
+// phantom-fire current (power.PhantomFireAmps).
+func NewConvolutionControl(cfg convctl.Config, fireAmps float64) *ConvolutionControl {
+	return &ConvolutionControl{
+		ctrl:     convctl.New(cfg),
+		fireAmps: fireAmps,
+		next:     convctl.Response{Throttle: cpu.Unlimited},
+	}
+}
+
+// Name implements Technique.
+func (t *ConvolutionControl) Name() string { return "convolution-control" }
+
+// Next implements Technique.
+func (t *ConvolutionControl) Next() (cpu.Throttle, Phantom) {
+	var ph Phantom
+	if t.next.PhantomFire {
+		ph.FireAmps = t.fireAmps
+	}
+	return t.next.Throttle, ph
+}
+
+// Observe implements Technique.
+func (t *ConvolutionControl) Observe(obs Observation) {
+	t.next = t.ctrl.Step(obs.TotalAmps, obs.DeviationVolts)
+}
+
+// Stats returns the controller statistics.
+func (t *ConvolutionControl) Stats() convctl.Stats { return t.ctrl.Stats() }
+
+// WaveletControl adapts the Haar-wavelet detector in the spirit of [11]:
+// dyadic-scale detail coefficients of the sensed current trigger a
+// half-width response on repeated alternating events.
+type WaveletControl struct {
+	ctrl *wavelet.Controller
+	next cpu.Throttle
+}
+
+// NewWaveletControl returns the technique.
+func NewWaveletControl(cfg wavelet.Config) *WaveletControl {
+	return &WaveletControl{ctrl: wavelet.New(cfg), next: cpu.Unlimited}
+}
+
+// Name implements Technique.
+func (t *WaveletControl) Name() string { return "wavelet-control" }
+
+// Next implements Technique.
+func (t *WaveletControl) Next() (cpu.Throttle, Phantom) { return t.next, Phantom{} }
+
+// Observe implements Technique.
+func (t *WaveletControl) Observe(obs Observation) {
+	t.next = t.ctrl.Step(obs.SensedAmps)
+}
+
+// Stats returns the controller statistics.
+func (t *WaveletControl) Stats() wavelet.Stats { return t.ctrl.Stats() }
+
+// DualBandTuning applies resonance tuning to both resonances of a
+// two-stage supply (Section 2.2): the medium-frequency controller runs at
+// core clock, and the low-frequency controller runs on a decimated
+// current stream — a slow averaging sensor feeding the same detector
+// hardware at a coarser timebase, with response durations scaled back to
+// processor cycles by the same factor.
+type DualBandTuning struct {
+	medium *tuning.Controller
+	low    *tuning.Controller
+	factor int
+
+	acc     float64
+	n       int
+	nextMed tuning.Response
+	nextLow tuning.Response
+	lowLeft int // processor cycles the current low response still covers
+}
+
+// NewDualBandTuning builds the two controllers. mediumCfg runs per cycle;
+// lowCfg is expressed in decimated units (its response times are
+// multiplied by factor when applied to the pipeline).
+func NewDualBandTuning(mediumCfg, lowCfg tuning.Config, factor int) *DualBandTuning {
+	if factor < 1 {
+		panic("sim.NewDualBandTuning: factor must be ≥ 1")
+	}
+	return &DualBandTuning{
+		medium:  tuning.NewController(mediumCfg),
+		low:     tuning.NewController(lowCfg),
+		factor:  factor,
+		nextMed: tuning.Response{Throttle: cpu.Unlimited},
+		nextLow: tuning.Response{Throttle: cpu.Unlimited},
+	}
+}
+
+// Name implements Technique.
+func (t *DualBandTuning) Name() string { return "dual-band-tuning" }
+
+// Next implements Technique: the stronger of the two bands' responses
+// applies.
+func (t *DualBandTuning) Next() (cpu.Throttle, Phantom) {
+	r := t.nextMed
+	if t.lowLeft > 0 && t.nextLow.Level > r.Level {
+		r = t.nextLow
+	}
+	return r.Throttle, Phantom{TargetAmps: r.PhantomTargetAmps}
+}
+
+// Observe implements Technique.
+func (t *DualBandTuning) Observe(obs Observation) {
+	t.nextMed = t.medium.Step(obs.SensedAmps)
+	t.acc += obs.SensedAmps
+	t.n++
+	if t.lowLeft > 0 {
+		t.lowLeft--
+	}
+	if t.n >= t.factor {
+		t.nextLow = t.low.Step(t.acc / float64(t.n))
+		t.acc, t.n = 0, 0
+		if t.nextLow.Level != tuning.LevelNone {
+			t.lowLeft = t.factor
+		}
+	}
+}
+
+// MediumStats and LowStats expose the two controllers' statistics.
+func (t *DualBandTuning) MediumStats() tuning.Stats { return t.medium.Stats() }
+
+// LowStats returns the low-band controller's statistics (cycle counts in
+// decimated units).
+func (t *DualBandTuning) LowStats() tuning.Stats { return t.low.Stats() }

@@ -1,0 +1,172 @@
+// Package spectrum analyses the frequency content of per-cycle current
+// traces. The paper's entire argument rests on a spectral claim — only
+// current variation inside the resonance band threatens the noise margin
+// — so this package makes the claim measurable: Welch-averaged Hann
+// periodograms (Goertzel per bin, no FFT dependency) whose band sums obey
+// Parseval, so BandPower reads directly as "amps² of variance inside the
+// band".
+package spectrum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one spectral bin.
+type Point struct {
+	// FrequencyHz of the bin (for a given processor clock).
+	FrequencyHz float64
+	// PeriodCycles is the equivalent period in clock cycles.
+	PeriodCycles float64
+	// Power is the trace-variance contribution of this bin in A².
+	Power float64
+}
+
+// Spectrum holds the analysis of one trace.
+type Spectrum struct {
+	ClockHz float64
+	// SegmentLen is the Welch segment length used (bins are spaced
+	// ClockHz/SegmentLen apart).
+	SegmentLen int
+	// TotalVariance is the trace's variance in A² (total AC power).
+	TotalVariance float64
+	Points        []Point
+}
+
+// goertzelMagSq returns |X_k|² of the DFT of xs at bin frequency f
+// (cycles per sample).
+func goertzelMagSq(xs []float64, f float64) float64 {
+	w := 2 * math.Pi * f
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range xs {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}
+
+// Analyze estimates the spectrum of the per-cycle current trace over
+// periods in [minPeriod, maxPeriod] cycles using Welch averaging:
+// 50%-overlapped Hann-windowed segments, one bin per DFT frequency of the
+// segment. Bin powers are normalised so that their sum over a band
+// approximates the trace variance contributed by that band (Parseval).
+func Analyze(samples []float64, clockHz float64, minPeriod, maxPeriod float64) (Spectrum, error) {
+	if len(samples) < 64 {
+		return Spectrum{}, fmt.Errorf("spectrum: trace too short (%d samples)", len(samples))
+	}
+	if minPeriod < 2 || maxPeriod <= minPeriod {
+		return Spectrum{}, fmt.Errorf("spectrum: bad period range [%g, %g]", minPeriod, maxPeriod)
+	}
+
+	// Segment length: a power of two, at least 8× the longest period of
+	// interest for adequate resolution, at most half the trace.
+	segLen := 1
+	for segLen < int(8*maxPeriod) {
+		segLen <<= 1
+	}
+	for segLen > len(samples)/2 && segLen > 64 {
+		segLen >>= 1
+	}
+
+	mean, variance := meanVar(samples)
+
+	// Hann window and its power gain.
+	window := make([]float64, segLen)
+	u := 0.0
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(segLen-1)))
+		u += window[i] * window[i]
+	}
+
+	kLo := int(math.Ceil(float64(segLen) / maxPeriod))
+	if kLo < 1 {
+		kLo = 1
+	}
+	kHi := int(math.Floor(float64(segLen) / minPeriod))
+	if kHi > segLen/2 {
+		kHi = segLen / 2
+	}
+	if kHi < kLo {
+		return Spectrum{}, fmt.Errorf("spectrum: period range [%g, %g] resolves no bins at segment length %d",
+			minPeriod, maxPeriod, segLen)
+	}
+
+	sums := make([]float64, kHi-kLo+1)
+	segments := 0
+	buf := make([]float64, segLen)
+	for start := 0; start+segLen <= len(samples); start += segLen / 2 {
+		for i := 0; i < segLen; i++ {
+			buf[i] = (samples[start+i] - mean) * window[i]
+		}
+		for k := kLo; k <= kHi; k++ {
+			sums[k-kLo] += goertzelMagSq(buf, float64(k)/float64(segLen))
+		}
+		segments++
+	}
+	if segments == 0 {
+		return Spectrum{}, fmt.Errorf("spectrum: trace shorter than one segment (%d < %d)", len(samples), segLen)
+	}
+
+	sp := Spectrum{ClockHz: clockHz, SegmentLen: segLen, TotalVariance: variance}
+	for k := kLo; k <= kHi; k++ {
+		magSq := sums[k-kLo] / float64(segments)
+		period := float64(segLen) / float64(k)
+		sp.Points = append(sp.Points, Point{
+			FrequencyHz:  clockHz / period,
+			PeriodCycles: period,
+			// One-sided Parseval normalisation: Σ_k 2|X_k|²/(L·U)
+			// over all k ≤ L/2 recovers the windowed variance.
+			Power: 2 * magSq / (float64(segLen) * u),
+		})
+	}
+	return sp, nil
+}
+
+// meanVar returns the mean and variance of xs.
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs))
+	return mean, variance
+}
+
+// BandPower integrates the spectral estimate over periods in
+// [loCycles, hiCycles], returning the summed bin power in A².
+func (s Spectrum) BandPower(loCycles, hiCycles float64) float64 {
+	total := 0.0
+	for _, pt := range s.Points {
+		if pt.PeriodCycles >= loCycles && pt.PeriodCycles <= hiCycles {
+			total += pt.Power
+		}
+	}
+	return total
+}
+
+// BandFraction returns the band power normalised by the trace's total
+// variance — a scale-free measure of how concentrated the trace's
+// variation is in the band.
+func (s Spectrum) BandFraction(loCycles, hiCycles float64) float64 {
+	if s.TotalVariance == 0 {
+		return 0
+	}
+	return s.BandPower(loCycles, hiCycles) / s.TotalVariance
+}
+
+// Peak returns the bin with the most power.
+func (s Spectrum) Peak() Point {
+	var best Point
+	for _, pt := range s.Points {
+		if pt.Power > best.Power {
+			best = pt
+		}
+	}
+	return best
+}

@@ -1,0 +1,161 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+)
+
+// sineTrace builds a trace with a sinusoid at the given period plus a DC
+// offset.
+func sineTrace(n int, periodCycles, amp, dc float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = dc + amp*math.Sin(2*math.Pi*float64(i)/periodCycles)
+	}
+	return out
+}
+
+func TestPeakAtInjectedFrequency(t *testing.T) {
+	trace := sineTrace(40_000, 100, 10, 70)
+	sp, err := Analyze(trace, 10e9, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := sp.Peak()
+	if math.Abs(peak.PeriodCycles-100)/100 > 0.05 {
+		t.Errorf("peak at period %.1f, want ≈ 100", peak.PeriodCycles)
+	}
+	// Parseval: the power within ±15% of the tone period recovers the
+	// tone variance A²/2 = 50.
+	if got := sp.BandPower(85, 115); math.Abs(got-50)/50 > 0.15 {
+		t.Errorf("tone band power %.1f, want ≈ 50", got)
+	}
+}
+
+func TestBandFractionSeparatesInAndOutOfBand(t *testing.T) {
+	inBand := sineTrace(40_000, 100, 10, 70)
+	outBand := sineTrace(40_000, 33, 10, 70)
+
+	spIn, err := Analyze(inBand, 10e9, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spOut, err := Analyze(outBand, 10e9, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fIn := spIn.BandFraction(84, 119)
+	fOut := spOut.BandFraction(84, 119)
+	if fIn < 0.8 {
+		t.Errorf("in-band sinusoid has band fraction %.2f, want > 0.8", fIn)
+	}
+	if fOut > 0.05 {
+		t.Errorf("out-of-band sinusoid has band fraction %.2f, want < 0.05", fOut)
+	}
+}
+
+func TestDCIsIgnored(t *testing.T) {
+	flat := make([]float64, 5000)
+	for i := range flat {
+		flat[i] = 85
+	}
+	sp, err := Analyze(flat, 10e9, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.TotalVariance > 1e-12 {
+		t.Errorf("flat trace variance %g", sp.TotalVariance)
+	}
+	for _, pt := range sp.Points {
+		if pt.Power > 1e-9 {
+			t.Errorf("flat trace shows power %g at period %.0f", pt.Power, pt.PeriodCycles)
+		}
+	}
+}
+
+func TestVarianceOfSine(t *testing.T) {
+	sp, err := Analyze(sineTrace(30_000, 100, 10, 0), 10e9, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Variance of a sine of amplitude 10 is 50.
+	if math.Abs(sp.TotalVariance-50) > 1 {
+		t.Errorf("variance %.2f, want ≈ 50", sp.TotalVariance)
+	}
+	// And nearly all of it is captured inside the sampled range.
+	if got := sp.BandPower(50, 200); math.Abs(got-50)/50 > 0.15 {
+		t.Errorf("in-range power %.1f, want ≈ 50", got)
+	}
+}
+
+func TestTwoToneSeparation(t *testing.T) {
+	a := sineTrace(40_000, 100, 10, 0)
+	b := sineTrace(40_000, 250, 6, 0)
+	mix := make([]float64, len(a))
+	for i := range mix {
+		mix[i] = a[i] + b[i]
+	}
+	sp, err := Analyze(mix, 10e9, 50, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := sp.BandPower(88, 113)
+	weak := sp.BandPower(220, 285)
+	if math.Abs(strong-50)/50 > 0.2 {
+		t.Errorf("strong tone power %.1f, want ≈ 50", strong)
+	}
+	if math.Abs(weak-18)/18 > 0.25 {
+		t.Errorf("weak tone power %.1f, want ≈ 18", weak)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(make([]float64, 4), 1e9, 20, 100); err == nil {
+		t.Error("short trace accepted")
+	}
+	if _, err := Analyze(make([]float64, 1000), 1e9, 1, 100); err == nil {
+		t.Error("sub-2-cycle period accepted")
+	}
+	if _, err := Analyze(make([]float64, 1000), 1e9, 50, 40); err == nil {
+		t.Error("inverted period range accepted")
+	}
+}
+
+func TestFrequencyPeriodConsistency(t *testing.T) {
+	sp, err := Analyze(sineTrace(5000, 80, 1, 0), 10e9, 40, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) < 4 {
+		t.Fatalf("only %d bins", len(sp.Points))
+	}
+	for _, pt := range sp.Points {
+		if math.Abs(pt.FrequencyHz*pt.PeriodCycles-10e9)/10e9 > 1e-9 {
+			t.Errorf("bin inconsistency: f=%g, period=%g", pt.FrequencyHz, pt.PeriodCycles)
+		}
+	}
+}
+
+func TestWhiteNoiseIsFlatAcrossBand(t *testing.T) {
+	// A deterministic pseudo-noise sequence: in-band fraction should be
+	// roughly the band's share of the sampled frequency range.
+	xs := make([]float64, 60_000)
+	state := uint64(12345)
+	for i := range xs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		xs[i] = float64(state%1000)/100 - 5
+	}
+	sp, err := Analyze(xs, 10e9, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := sp.BandFraction(84, 119)
+	// White noise has variance spread uniformly over frequency; the
+	// band [1/119, 1/84] covers (1/84-1/119)/0.5 ≈ 0.7% of the full
+	// one-sided range.
+	if frac > 0.03 {
+		t.Errorf("white-noise band fraction %.3f, want ≈ 0.007", frac)
+	}
+}

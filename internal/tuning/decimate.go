@@ -1,0 +1,47 @@
+package tuning
+
+import "fmt"
+
+// Decimated runs a Detector on a decimated current stream, the natural
+// way to apply resonance tuning to the low-frequency resonance of
+// Section 2.2: at a few megahertz the resonant period spans thousands of
+// processor cycles, so a slow sensor that averages the current over a
+// fixed window and feeds the same detector hardware at a coarser
+// timebase covers the low band with the identical half-period range.
+// Event cycle numbers are in decimated units (multiply by Factor for
+// processor cycles).
+type Decimated struct {
+	det    *Detector
+	factor int
+	acc    float64
+	n      int
+}
+
+// NewDecimated wraps det so that every factor consecutive current samples
+// are averaged into one detector step. It panics if factor < 1.
+func NewDecimated(det *Detector, factor int) *Decimated {
+	if factor < 1 {
+		panic(fmt.Sprintf("tuning.NewDecimated: factor %d < 1", factor))
+	}
+	return &Decimated{det: det, factor: factor}
+}
+
+// Factor returns the decimation factor.
+func (d *Decimated) Factor() int { return d.factor }
+
+// Detector returns the underlying detector.
+func (d *Decimated) Detector() *Detector { return d.det }
+
+// Step consumes one processor-cycle current sample. Once a full
+// decimation window has accumulated, the averaged sample advances the
+// underlying detector and any resulting event is returned.
+func (d *Decimated) Step(sensedAmps float64) (Event, bool) {
+	d.acc += sensedAmps
+	d.n++
+	if d.n < d.factor {
+		return Event{}, false
+	}
+	avg := d.acc / float64(d.factor)
+	d.acc, d.n = 0, 0
+	return d.det.Step(avg)
+}

@@ -1,0 +1,85 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestDecimatedCatchesLowFrequencyResonance(t *testing.T) {
+	// The Section 2.2 scenario: the two-stage supply's low-frequency
+	// loop resonates at a few megahertz — thousands of processor cycles
+	// per period. A 25:1 decimated detector with the standard 42-60
+	// half-period configuration covers it.
+	p := circuit.Table1TwoStage()
+	low := p.LowStage()
+	period := int(math.Round(p.ClockHz / low.ResonantFrequency())) // ≈ 2500 cycles
+	const factor = 25
+
+	det := NewDetector(DetectorConfig{
+		HalfPeriodLo:           period / (2 * factor) * 8 / 10,
+		HalfPeriodHi:           period / (2 * factor) * 12 / 10,
+		ThresholdAmps:          32,
+		MaxRepetitionTolerance: 4,
+	})
+	dec := NewDecimated(det, factor)
+	if dec.Factor() != factor || dec.Detector() != det {
+		t.Fatal("accessors broken")
+	}
+
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: period}
+	maxCount := 0
+	for c := 0; c < 12*period; c++ {
+		if ev, ok := dec.Step(w.At(c)); ok && ev.Count > maxCount {
+			maxCount = ev.Count
+		}
+	}
+	if maxCount < 4 {
+		t.Errorf("decimated detector chained only to count %d on sustained low-frequency resonance", maxCount)
+	}
+}
+
+func TestDecimatedIgnoresMediumFrequencyVariation(t *testing.T) {
+	// The decimation window (25 cycles) averages out medium-frequency
+	// (100-cycle period) variation almost entirely, so the low-band
+	// detector does not false-alarm on it.
+	det := NewDetector(DetectorConfig{
+		HalfPeriodLo: 42, HalfPeriodHi: 60,
+		ThresholdAmps: 32, MaxRepetitionTolerance: 4,
+	})
+	dec := NewDecimated(det, 25)
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	events := 0
+	for c := 0; c < 200_000; c++ {
+		if _, ok := dec.Step(w.At(c)); ok {
+			events++
+		}
+	}
+	if events != 0 {
+		t.Errorf("decimated low-band detector fired %d events on medium-frequency variation", events)
+	}
+}
+
+func TestDecimatedAveraging(t *testing.T) {
+	// Factor 1 must behave exactly like the raw detector.
+	raw := NewDetector(table1Detector())
+	wrapped := NewDecimated(NewDetector(table1Detector()), 1)
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	for c := 0; c < 2000; c++ {
+		e1, ok1 := raw.Step(w.At(c))
+		e2, ok2 := wrapped.Step(w.At(c))
+		if ok1 != ok2 || e1 != e2 {
+			t.Fatalf("cycle %d: factor-1 decimation diverged", c)
+		}
+	}
+}
+
+func TestNewDecimatedPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDecimated(NewDetector(table1Detector()), 0)
+}

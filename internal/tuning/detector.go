@@ -1,0 +1,284 @@
+// Package tuning implements resonance tuning, the paper's contribution
+// (Section 3): architectural detection of nascent resonant behaviour in
+// the processor current and a two-tier response that moves the frequency
+// of current variations out of the resonance band.
+//
+// Detection (Section 3.1) keeps a history of per-cycle sensed core
+// current and, for every half-period in the resonance band, compares the
+// sum of the most recent quarter-period of current samples against the
+// quarter-period before it. A difference larger than M·T/8 (M being the
+// resonant current variation threshold) marks a high→low or low→high
+// resonant event. Events are recorded in per-polarity history shift
+// registers; a new event chains with an opposite-polarity event half a
+// period earlier, incrementing the resonant event count. Same-polarity
+// events on consecutive cycles are one physical transition and are
+// counted once.
+//
+// Prevention (Section 3.2) engages a gentle first-level response (halved
+// issue width, one cache port) when the count reaches the initial
+// response threshold, and a second-level response (issue stall with
+// phantom operations holding a medium current level) one below the
+// maximum repetition tolerance, guaranteeing the count never reaches the
+// violating value.
+package tuning
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// DetectorConfig parameterises resonant-event detection.
+type DetectorConfig struct {
+	// HalfPeriodLo and HalfPeriodHi bound, in cycles, the half-periods
+	// of the resonance band (42–60 for the Table 1 supply). One
+	// quarter-period adder is instantiated per half-period.
+	HalfPeriodLo, HalfPeriodHi int
+	// ThresholdAmps is the resonant current variation threshold M.
+	ThresholdAmps float64
+	// MaxRepetitionTolerance is the resonant event count at which a
+	// noise-margin violation can occur.
+	MaxRepetitionTolerance int
+}
+
+// DetectorFromSupply derives a detector configuration from a power
+// supply's characteristics and its Section 2.1.3 calibration.
+func DetectorFromSupply(p circuit.Params, cal circuit.Calibration) DetectorConfig {
+	lo, hi := p.ResonanceBandCycles().HalfPeriods()
+	return DetectorConfig{
+		HalfPeriodLo:           lo,
+		HalfPeriodHi:           hi,
+		ThresholdAmps:          cal.ThresholdAmps,
+		MaxRepetitionTolerance: cal.MaxRepetitionTolerance,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c DetectorConfig) Validate() error {
+	switch {
+	case c.HalfPeriodLo < 2 || c.HalfPeriodHi < c.HalfPeriodLo:
+		return fmt.Errorf("tuning: bad half-period range %d-%d", c.HalfPeriodLo, c.HalfPeriodHi)
+	case c.ThresholdAmps <= 0:
+		return fmt.Errorf("tuning: threshold must be positive (got %g)", c.ThresholdAmps)
+	case c.MaxRepetitionTolerance < 2:
+		return fmt.Errorf("tuning: repetition tolerance must be at least 2 (got %d)", c.MaxRepetitionTolerance)
+	}
+	return nil
+}
+
+// Polarity labels the direction of a resonant event.
+type Polarity uint8
+
+// Event polarities.
+const (
+	HighLow Polarity = iota // high current followed by low current
+	LowHigh                 // low current followed by high current
+)
+
+// String names the polarity.
+func (p Polarity) String() string {
+	if p == HighLow {
+		return "high-low"
+	}
+	return "low-high"
+}
+
+// Event describes a resonant event detected in some cycle.
+type Event struct {
+	Cycle    uint64
+	Polarity Polarity
+	// Count is the resonant event count after chaining: 1 for an
+	// isolated event, higher when opposite-polarity events precede it
+	// at half-period distances.
+	Count int
+}
+
+// Detector implements Section 3.1. Feed it one sensed current sample per
+// cycle with Step.
+type Detector struct {
+	cfg DetectorConfig
+
+	// cum is a ring of cumulative current sums; cum[c mod len] holds
+	// the total current through cycle c, letting any window sum be
+	// formed with one subtraction per half-period "adder".
+	cum    []float64
+	total  float64
+	cycle  uint64
+	warmup int
+
+	// Polarity history shift registers (Section 3.1.2), one bit per
+	// cycle, long enough to cover the maximum repetition tolerance,
+	// plus the chained count memo for each recorded event cycle.
+	histLen  int
+	highLow  []bool
+	lowHigh  []bool
+	countAt  []uint16
+	lastSeen [2]uint64 // most recent event cycle per polarity (+1, 0 = none)
+
+	lastEvent      Event
+	lastEventValid bool
+	eventsDetected uint64
+}
+
+// NewDetector returns a detector for the given configuration. It panics
+// if the configuration is invalid (a design-time error).
+func NewDetector(cfg DetectorConfig) *Detector {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("tuning.NewDetector: %v", err))
+	}
+	ringLen := 2*cfg.HalfPeriodHi + 2
+	histLen := cfg.MaxRepetitionTolerance*2*cfg.HalfPeriodHi + 1
+	return &Detector{
+		cfg:     cfg,
+		cum:     make([]float64, ringLen),
+		histLen: histLen,
+		highLow: make([]bool, histLen),
+		lowHigh: make([]bool, histLen),
+		countAt: make([]uint16, histLen),
+	}
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// EventsDetected returns the number of resonant events recorded so far.
+func (d *Detector) EventsDetected() uint64 { return d.eventsDetected }
+
+// windowDiff returns recent-quarter sum minus prior-quarter sum for the
+// given quarter-period length at the current cycle.
+func (d *Detector) windowDiff(qp int) float64 {
+	n := len(d.cum)
+	c := int(d.cycle % uint64(n))
+	recent := d.cum[c] - d.cum[((c-qp)%n+n)%n]
+	prior := d.cum[((c-qp)%n+n)%n] - d.cum[((c-2*qp)%n+n)%n]
+	return recent - prior
+}
+
+// Step feeds one cycle of sensed core current to the detector. It returns
+// the resonant event recorded this cycle, if any.
+func (d *Detector) Step(sensedAmps float64) (Event, bool) {
+	d.total += sensedAmps
+	d.cum[d.cycle%uint64(len(d.cum))] = d.total
+
+	// Clear the history slots being reused this cycle.
+	slot := int(d.cycle % uint64(d.histLen))
+	d.highLow[slot] = false
+	d.lowHigh[slot] = false
+	d.countAt[slot] = 0
+
+	var (
+		found    bool
+		pol      Polarity
+		maxMag   float64
+		detected Event
+	)
+	if d.warmup < 2*d.cfg.HalfPeriodHi {
+		d.warmup++
+	} else {
+		// One "adder" per half-period in the band (Section 3.1.3).
+		for hp := d.cfg.HalfPeriodLo; hp <= d.cfg.HalfPeriodHi; hp++ {
+			qp := hp / 2
+			diff := d.windowDiff(qp)
+			// Half-period threshold M·T/8 with T = 2·hp.
+			thr := d.cfg.ThresholdAmps * float64(hp) / 4
+			mag := diff
+			if mag < 0 {
+				mag = -mag
+			}
+			if mag <= thr || mag <= maxMag {
+				continue
+			}
+			maxMag = mag
+			found = true
+			if diff < 0 {
+				pol = HighLow
+			} else {
+				pol = LowHigh
+			}
+		}
+	}
+	if found {
+		detected = d.record(pol)
+		d.lastEvent = detected
+		d.lastEventValid = true
+		d.eventsDetected++
+	}
+	d.cycle++
+	return detected, found
+}
+
+// record notes an event of the given polarity at the current cycle and
+// computes its chained resonant event count.
+func (d *Detector) record(pol Polarity) Event {
+	slot := int(d.cycle % uint64(d.histLen))
+	count := 1
+
+	// Dedup: a same-polarity event in the immediately preceding cycle
+	// is the same physical transition seen by another adder
+	// (Section 3.1.3); inherit its count instead of chaining.
+	// lastSeen stores cycle+1, so equality with d.cycle means the
+	// previous cycle had an event of this polarity.
+	inherited := false
+	if d.lastSeen[pol] == d.cycle {
+		prevSlot := int((d.cycle - 1) % uint64(d.histLen))
+		if d.polarityBit(pol, prevSlot) && d.countAt[prevSlot] > 0 {
+			count = int(d.countAt[prevSlot])
+			inherited = true
+		}
+	}
+	if !inherited {
+		// Chain: look for an opposite-polarity event at every
+		// half-period distance in the band (fixed probe offsets, no
+		// associative search).
+		opposite := LowHigh
+		if pol == LowHigh {
+			opposite = HighLow
+		}
+		best := 0
+		for hp := d.cfg.HalfPeriodLo; hp <= d.cfg.HalfPeriodHi; hp++ {
+			if uint64(hp) > d.cycle {
+				break
+			}
+			back := int((d.cycle - uint64(hp)) % uint64(d.histLen))
+			if d.polarityBit(opposite, back) && int(d.countAt[back]) > best {
+				best = int(d.countAt[back])
+			}
+		}
+		count = best + 1
+	}
+	if count > d.cfg.MaxRepetitionTolerance+1 {
+		count = d.cfg.MaxRepetitionTolerance + 1
+	}
+
+	if pol == HighLow {
+		d.highLow[slot] = true
+	} else {
+		d.lowHigh[slot] = true
+	}
+	d.countAt[slot] = uint16(count)
+	d.lastSeen[pol] = d.cycle + 1
+	return Event{Cycle: d.cycle, Polarity: pol, Count: count}
+}
+
+func (d *Detector) polarityBit(pol Polarity, slot int) bool {
+	if pol == HighLow {
+		return d.highLow[slot]
+	}
+	return d.lowHigh[slot]
+}
+
+// CountNow returns the effective resonant event count at the present
+// cycle for tracing: the count of the most recent event, decaying by one
+// per half-period of quiet as events age out of the history registers.
+func (d *Detector) CountNow() int {
+	if !d.lastEventValid {
+		return 0
+	}
+	age := int(d.cycle - d.lastEvent.Cycle)
+	decay := age / d.cfg.HalfPeriodHi
+	c := d.lastEvent.Count - decay
+	if c < 0 {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,266 @@
+package tuning
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// table1Detector returns the paper's Table 1 detector configuration:
+// band 84-119 cycles (half-periods 42-60), threshold 32 A, tolerance 4.
+func table1Detector() DetectorConfig {
+	return DetectorConfig{
+		HalfPeriodLo:           42,
+		HalfPeriodHi:           60,
+		ThresholdAmps:          32,
+		MaxRepetitionTolerance: 4,
+	}
+}
+
+// driveWave feeds n cycles of the waveform into a fresh detector and
+// returns all events.
+func driveWave(d *Detector, w circuit.Waveform, n int) []Event {
+	var events []Event
+	for c := 0; c < n; c++ {
+		if ev, ok := d.Step(w.At(c)); ok {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+func maxCount(events []Event) int {
+	m := 0
+	for _, e := range events {
+		if e.Count > m {
+			m = e.Count
+		}
+	}
+	return m
+}
+
+func TestDetectorFindsResonantSquareWave(t *testing.T) {
+	d := NewDetector(table1Detector())
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100, Start: 150}
+	events := driveWave(d, w, 800)
+	if len(events) == 0 {
+		t.Fatal("no events for a 40 A square wave at the resonant period")
+	}
+	if got := maxCount(events); got < 4 {
+		t.Errorf("max chained count = %d, want ≥ 4 for sustained resonance", got)
+	}
+	// Both polarities must appear.
+	var hl, lh bool
+	for _, e := range events {
+		if e.Polarity == HighLow {
+			hl = true
+		} else {
+			lh = true
+		}
+	}
+	if !hl || !lh {
+		t.Errorf("polarities seen: high-low=%v low-high=%v, want both", hl, lh)
+	}
+}
+
+func TestDetectorCountClimbsMonotonically(t *testing.T) {
+	d := NewDetector(table1Detector())
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100, Start: 150}
+	events := driveWave(d, w, 600)
+	// The first chained counts must be achieved in order 1, 2, 3, ...
+	firstAt := map[int]uint64{}
+	for _, e := range events {
+		if _, ok := firstAt[e.Count]; !ok {
+			firstAt[e.Count] = e.Cycle
+		}
+	}
+	for k := 2; k <= 3; k++ {
+		lo, okLo := firstAt[k-1]
+		hi, okHi := firstAt[k]
+		if !okLo || !okHi {
+			t.Fatalf("counts %d or %d never reached: %v", k-1, k, firstAt)
+		}
+		if hi <= lo {
+			t.Errorf("count %d first reached at %d, before count %d at %d", k, hi, k-1, lo)
+		}
+		// Consecutive counts should be roughly a half-period apart.
+		if gap := hi - lo; gap < 30 || gap > 80 {
+			t.Errorf("gap between count %d and %d = %d cycles, want ≈ half period", k-1, k, gap)
+		}
+	}
+}
+
+func TestDetectorIgnoresSmallVariations(t *testing.T) {
+	d := NewDetector(table1Detector())
+	// Square diff is A·T/4 against threshold M·T/8: amplitudes at or
+	// below M/2 never trigger.
+	w := circuit.Square{Mid: 70, Amplitude: 15, PeriodCycles: 100}
+	if events := driveWave(d, w, 1000); len(events) != 0 {
+		t.Errorf("detected %d events for a sub-threshold 15 A square", len(events))
+	}
+}
+
+func TestDetectorIgnoresConstantCurrent(t *testing.T) {
+	d := NewDetector(table1Detector())
+	if events := driveWave(d, circuit.Constant(90), 1000); len(events) != 0 {
+		t.Errorf("detected %d events on constant current", len(events))
+	}
+}
+
+func TestDetectorIgnoresSlowOffBandVariations(t *testing.T) {
+	d := NewDetector(table1Detector())
+	// A 240-cycle period is well below the band (84-119 cycles): each
+	// transition is seen as an isolated event, but opposite-polarity
+	// events are 120 cycles apart — outside the 42-60 cycle probe
+	// range — so nothing chains.
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 240}
+	events := driveWave(d, w, 3000)
+	if got := maxCount(events); got > 1 {
+		t.Errorf("slow off-band square chained to count %d, want ≤ 1", got)
+	}
+}
+
+func TestDetectorIsConservativeNearBand(t *testing.T) {
+	// Documented property of the paper's scheme: strong periodic
+	// variations at periods moderately outside the band (e.g. 40 or 50
+	// cycles) still alias into the quarter-period windows and the
+	// half-period chain probes, so the detector may chain them even
+	// though the supply absorbs them. The failure mode is an
+	// unnecessary response (performance cost), never a missed
+	// violation — the conservative direction for a reliability
+	// mechanism. This test pins the conservatism down so a future
+	// "fix" that silently changes it is noticed.
+	for _, period := range []int{40, 50} {
+		d := NewDetector(table1Detector())
+		w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: period}
+		events := driveWave(d, w, 2000)
+		if len(events) == 0 {
+			t.Errorf("period %d: no events at all; detection window behaviour changed", period)
+		}
+	}
+}
+
+func TestIsolatedTransitionCountsOnce(t *testing.T) {
+	d := NewDetector(table1Detector())
+	// A single 40 A step: detected by several adders over consecutive
+	// cycles, but consecutive same-polarity detections dedup to one
+	// event (Section 3.1.3).
+	w := circuit.WaveformFunc(func(c int) float64 {
+		if c < 300 {
+			return 90
+		}
+		return 50
+	})
+	events := driveWave(d, w, 800)
+	if len(events) == 0 {
+		t.Fatal("isolated 40 A transition not detected at all")
+	}
+	if got := maxCount(events); got != 1 {
+		t.Errorf("isolated transition reached count %d, want 1", got)
+	}
+	for _, e := range events {
+		if e.Polarity != HighLow {
+			t.Errorf("step down produced %v event", e.Polarity)
+		}
+	}
+}
+
+func TestOppositeIsolatedTransition(t *testing.T) {
+	d := NewDetector(table1Detector())
+	w := circuit.WaveformFunc(func(c int) float64 {
+		if c < 300 {
+			return 50
+		}
+		return 90
+	})
+	events := driveWave(d, w, 800)
+	if len(events) == 0 {
+		t.Fatal("step up not detected")
+	}
+	for _, e := range events {
+		if e.Polarity != LowHigh {
+			t.Errorf("step up produced %v event", e.Polarity)
+		}
+	}
+}
+
+func TestCountNowDecays(t *testing.T) {
+	d := NewDetector(table1Detector())
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100, Start: 100, End: 500}
+	peak := 0
+	for c := 0; c < 2000; c++ {
+		d.Step(w.At(c))
+		if n := d.CountNow(); n > peak {
+			peak = n
+		}
+	}
+	if peak < 3 {
+		t.Fatalf("CountNow peaked at %d, want ≥ 3 during resonance", peak)
+	}
+	if got := d.CountNow(); got != 0 {
+		t.Errorf("CountNow = %d long after stimulus, want 0", got)
+	}
+}
+
+func TestCountNowZeroBeforeAnyEvent(t *testing.T) {
+	d := NewDetector(table1Detector())
+	if d.CountNow() != 0 {
+		t.Error("CountNow on a fresh detector should be 0")
+	}
+}
+
+func TestDetectorFromSupply(t *testing.T) {
+	p := circuit.Table1()
+	cal := circuit.Calibration{ThresholdAmps: 32, MaxRepetitionTolerance: 4, BandEdgeToleranceAmps: 44}
+	cfg := DetectorFromSupply(p, cal)
+	if cfg.HalfPeriodLo != 42 || cfg.HalfPeriodHi != 60 {
+		t.Errorf("half periods %d-%d, want 42-60", cfg.HalfPeriodLo, cfg.HalfPeriodHi)
+	}
+	if cfg.ThresholdAmps != 32 || cfg.MaxRepetitionTolerance != 4 {
+		t.Errorf("threshold/tolerance = %g/%d, want 32/4", cfg.ThresholdAmps, cfg.MaxRepetitionTolerance)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("derived config invalid: %v", err)
+	}
+}
+
+func TestDetectorConfigValidate(t *testing.T) {
+	bad := []DetectorConfig{
+		{HalfPeriodLo: 1, HalfPeriodHi: 60, ThresholdAmps: 32, MaxRepetitionTolerance: 4},
+		{HalfPeriodLo: 50, HalfPeriodHi: 40, ThresholdAmps: 32, MaxRepetitionTolerance: 4},
+		{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 0, MaxRepetitionTolerance: 4},
+		{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 32, MaxRepetitionTolerance: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := table1Detector().Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestNewDetectorPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDetector(DetectorConfig{})
+}
+
+func TestPolarityString(t *testing.T) {
+	if HighLow.String() != "high-low" || LowHigh.String() != "low-high" {
+		t.Error("polarity names wrong")
+	}
+}
+
+func TestEventsDetectedCounter(t *testing.T) {
+	d := NewDetector(table1Detector())
+	w := circuit.Square{Mid: 70, Amplitude: 40, PeriodCycles: 100}
+	events := driveWave(d, w, 1000)
+	if d.EventsDetected() != uint64(len(events)) {
+		t.Errorf("EventsDetected = %d, want %d", d.EventsDetected(), len(events))
+	}
+}

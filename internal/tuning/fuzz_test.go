@@ -1,0 +1,100 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDetectorStep drives the detector with arbitrary current histories
+// encoded as byte strings and checks its invariants: no panics, counts in
+// range, and the accounting between returned events and EventsDetected.
+// Run with `go test -fuzz=FuzzDetectorStep ./internal/tuning` for a real
+// fuzzing session; the seed corpus runs in ordinary test mode.
+func FuzzDetectorStep(f *testing.F) {
+	f.Add([]byte{0, 255, 0, 255, 128, 64, 32})
+	f.Add([]byte("steady steady steady steady"))
+	seed := make([]byte, 400)
+	for i := range seed {
+		if i%100 < 50 {
+			seed[i] = 200
+		} else {
+			seed[i] = 40
+		}
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, samples []byte) {
+		d := NewDetector(DetectorConfig{
+			HalfPeriodLo: 42, HalfPeriodHi: 60,
+			ThresholdAmps: 32, MaxRepetitionTolerance: 4,
+		})
+		var events uint64
+		for pass := 0; pass < 3; pass++ { // replay the bytes a few times
+			for _, b := range samples {
+				ev, ok := d.Step(float64(b))
+				if ok {
+					events++
+					if ev.Count < 1 || ev.Count > 5 {
+						t.Fatalf("event count %d out of range", ev.Count)
+					}
+				}
+				if c := d.CountNow(); c < 0 || c > 5 {
+					t.Fatalf("CountNow %d out of range", c)
+				}
+			}
+		}
+		if d.EventsDetected() != events {
+			t.Fatalf("EventsDetected %d, returned %d", d.EventsDetected(), events)
+		}
+	})
+}
+
+// FuzzControllerStep checks the controller never emits an inconsistent
+// response under arbitrary input.
+func FuzzControllerStep(f *testing.F) {
+	f.Add([]byte{10, 250, 10, 250})
+	f.Fuzz(func(t *testing.T, samples []byte) {
+		if len(samples) == 0 {
+			return
+		}
+		c := NewController(Config{
+			Detector: DetectorConfig{
+				HalfPeriodLo: 42, HalfPeriodHi: 60,
+				ThresholdAmps: 32, MaxRepetitionTolerance: 4,
+			},
+			InitialResponseThreshold: 2,
+			SecondResponseThreshold:  3,
+			InitialResponseCycles:    100,
+			SecondResponseCycles:     35,
+			ReducedIssueWidth:        4,
+			ReducedCachePorts:        1,
+			PhantomTargetAmps:        70,
+		})
+		for i := 0; i < 2000; i++ {
+			r := c.Step(float64(samples[i%len(samples)]))
+			switch r.Level {
+			case LevelNone:
+				if r.Throttle.StallIssue || r.PhantomTargetAmps != 0 {
+					t.Fatal("idle response carries actions")
+				}
+			case LevelFirst:
+				if r.Throttle.IssueWidth != 4 || r.Throttle.CachePorts != 1 {
+					t.Fatalf("first-level throttle %+v", r.Throttle)
+				}
+			case LevelSecond:
+				if !r.Throttle.StallIssue || r.PhantomTargetAmps != 70 {
+					t.Fatalf("second-level response %+v", r)
+				}
+			default:
+				t.Fatalf("unknown level %d", r.Level)
+			}
+		}
+		st := c.Stats()
+		if st.FirstLevelCycles+st.SecondLevelCycles > st.Cycles {
+			t.Fatal("response cycles exceed total")
+		}
+		if math.IsNaN(st.FirstLevelFraction()) {
+			t.Fatal("NaN fraction")
+		}
+	})
+}

@@ -1,0 +1,341 @@
+// Package workload synthesises instruction streams whose cycle-level
+// activity waveforms stand in for the SPEC2K applications of the paper's
+// evaluation (Table 2). A real program's inductive-noise behaviour is
+// determined by the frequency content of its activity: bursts of
+// instruction-level parallelism alternating with stalls (cache-miss
+// chains) produce current oscillations, and when the alternation period
+// falls inside the power supply's resonance band, repeated swings build
+// toward noise-margin violations.
+//
+// Each application model combines a steady-state instruction mix
+// (instruction classes, dependency density, branch mispredictions, cache
+// miss rates) that calibrates its IPC against Table 2, with an optional
+// burst/stall oscillation that shapes its current spectrum. Jitter on the
+// phase lengths spreads the spectrum: low jitter keeps the oscillation
+// coherent in the resonance band (frequent violations, like lucas or
+// swim), high jitter makes in-band coherence an occasional accident (rare
+// violations, like facerec or gcc), and off-band periods or no bursts at
+// all produce the non-violating applications.
+//
+// All randomness is drawn from a per-app seeded deterministic generator,
+// so every simulation is exactly reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/rng"
+)
+
+// Mix gives the probability of each instruction class in steady-state
+// code. The fields need not sum exactly to one; they are normalised.
+type Mix struct {
+	IntALU, IntMul, FPALU, FPMul, Load, Store, Branch float64
+}
+
+// normalized returns cumulative class probabilities for sampling.
+func (m Mix) normalized() (cum [cpu.NumClasses]float64, ok bool) {
+	w := [cpu.NumClasses]float64{
+		cpu.IntALU: m.IntALU,
+		cpu.IntMul: m.IntMul,
+		cpu.FPALU:  m.FPALU,
+		cpu.FPMul:  m.FPMul,
+		cpu.Load:   m.Load,
+		cpu.Store:  m.Store,
+		cpu.Branch: m.Branch,
+	}
+	total := 0.0
+	for _, v := range w {
+		if v < 0 {
+			return cum, false
+		}
+		total += v
+	}
+	if total <= 0 {
+		return cum, false
+	}
+	acc := 0.0
+	for i, v := range w {
+		acc += v / total
+		cum[i] = acc
+	}
+	return cum, true
+}
+
+// Burst describes the oscillating phase structure layered over the steady
+// mix to shape the current spectrum.
+type Burst struct {
+	// Enabled turns the oscillation on.
+	Enabled bool
+	// BurstInsts is the number of high-ILP instructions per burst phase.
+	BurstInsts int
+	// StallMisses is the length of the dependent miss chain forming the
+	// quiet phase.
+	StallMisses int
+	// StallLevel is the hierarchy level the stall chain misses to.
+	StallLevel cpu.MemLevel
+	// JitterFrac randomises each phase length by ±JitterFrac. Low
+	// jitter keeps the oscillation coherently in one band; high jitter
+	// spreads it.
+	JitterFrac float64
+
+	// EpisodeProb is the rate, per burst phase, of coherent resonant
+	// episodes: EpisodeLen consecutive phases with an un-jittered burst
+	// of EpisodeBurstInsts instructions, shifting the oscillation
+	// period into the resonance band. Episodes are how the violating
+	// applications of Table 2 get their rare noise-margin violations:
+	// most of the time their oscillation sits off-band, and every so
+	// often the program phases align. Episodes fire on a deterministic
+	// cadence of round(1/EpisodeProb) phases so that scaled-down runs
+	// classify applications reproducibly rather than at the mercy of a
+	// Poisson draw.
+	EpisodeProb       float64
+	EpisodeLen        int
+	EpisodeBurstInsts int
+	// EpisodeStallMisses overrides StallMisses during an episode (0
+	// keeps the base value). Low-IPC applications have long base
+	// stalls; their resonant episodes use a shorter, in-band stall.
+	EpisodeStallMisses int
+	// EpisodeILP makes episode bursts dependency- and miss-free (a
+	// coherent, fully parallel hot loop), so the episode swings the
+	// full current range regardless of the app's usual serialisation.
+	EpisodeILP bool
+}
+
+// Params fully describes one synthetic application.
+type Params struct {
+	Name string
+	Seed uint64
+
+	Mix Mix
+	// DepProb is the probability that an instruction depends on an
+	// earlier one; DepMean is the mean producer distance (geometric).
+	DepProb, DepMean float64
+	// Dep2Frac is the fraction of dependent instructions that also
+	// carry a second source dependency; two parents per node make the
+	// dataflow graph markedly more serial.
+	Dep2Frac float64
+	// MispredictRate is the fraction of branches mispredicted.
+	MispredictRate float64
+	// L1MissRate is the fraction of memory operations missing L1;
+	// L2MissRate is the fraction of those that also miss L2.
+	L1MissRate, L2MissRate float64
+
+	Burst Burst
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if _, ok := p.Mix.normalized(); !ok {
+		return fmt.Errorf("workload %s: degenerate instruction mix %+v", p.Name, p.Mix)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DepProb", p.DepProb},
+		{"MispredictRate", p.MispredictRate},
+		{"L1MissRate", p.L1MissRate},
+		{"L2MissRate", p.L2MissRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("workload %s: %s = %g outside [0,1]", p.Name, r.name, r.v)
+		}
+	}
+	if p.DepProb > 0 && p.DepMean < 1 {
+		return fmt.Errorf("workload %s: DepMean must be ≥ 1 when dependencies enabled", p.Name)
+	}
+	if p.Dep2Frac < 0 || p.Dep2Frac > 1 {
+		return fmt.Errorf("workload %s: Dep2Frac = %g outside [0,1]", p.Name, p.Dep2Frac)
+	}
+	if p.Burst.Enabled {
+		if p.Burst.BurstInsts < 1 || p.Burst.StallMisses < 1 {
+			return fmt.Errorf("workload %s: burst phases must be non-empty", p.Name)
+		}
+		if p.Burst.JitterFrac < 0 || p.Burst.JitterFrac >= 1 {
+			return fmt.Errorf("workload %s: jitter %g outside [0,1)", p.Name, p.Burst.JitterFrac)
+		}
+		if p.Burst.EpisodeProb < 0 || p.Burst.EpisodeProb > 1 {
+			return fmt.Errorf("workload %s: episode probability %g outside [0,1]", p.Name, p.Burst.EpisodeProb)
+		}
+		if p.Burst.EpisodeProb > 0 && (p.Burst.EpisodeLen < 1 || p.Burst.EpisodeBurstInsts < 1) {
+			return fmt.Errorf("workload %s: episodes need positive length and burst size", p.Name)
+		}
+	}
+	return nil
+}
+
+// Generator produces the instruction stream for one application run. It
+// implements cpu.Source.
+type Generator struct {
+	p     Params
+	cum   [cpu.NumClasses]float64
+	r     *rng.Source
+	limit uint64
+	n     uint64
+
+	// oscillation state
+	inBurst       bool
+	phaseLeft     int
+	episodeLeft   int
+	episodeActive bool
+	// phasesUntilEpisode counts down burst phases to the next episode.
+	phasesUntilEpisode int
+}
+
+// NewGenerator returns a generator yielding at most limit instructions of
+// application p. It panics on invalid parameters.
+func NewGenerator(p Params, limit uint64) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.NewGenerator: %v", err))
+	}
+	cum, _ := p.Mix.normalized()
+	// phaseLeft starts at zero so the first Next goes through the
+	// ordinary phase-boundary logic (including the episode cadence).
+	g := &Generator{p: p, cum: cum, r: rng.New(p.Seed), limit: limit}
+	if n := g.episodeCadence(); n > 0 {
+		// Stagger the first episode by a seed-dependent offset so apps
+		// don't synchronise, while keeping it within one cadence.
+		g.phasesUntilEpisode = 1 + g.r.Intn(n)
+	}
+	return g
+}
+
+// episodeCadence returns the deterministic number of burst phases between
+// episodes, or 0 when episodes are disabled.
+func (g *Generator) episodeCadence() int {
+	if g.p.Burst.EpisodeProb <= 0 {
+		return 0
+	}
+	n := int(1/g.p.Burst.EpisodeProb + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Params returns the generator's application parameters.
+func (g *Generator) Params() Params { return g.p }
+
+// jittered perturbs a phase length by ±JitterFrac.
+func (g *Generator) jittered(n int) int {
+	j := g.p.Burst.JitterFrac
+	if j <= 0 {
+		return n
+	}
+	f := 1 + (2*g.r.Float64()-1)*j
+	v := int(float64(n)*f + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Next implements cpu.Source.
+func (g *Generator) Next() (cpu.Inst, bool) {
+	if g.n >= g.limit {
+		return cpu.Inst{}, false
+	}
+	g.n++
+	if !g.p.Burst.Enabled {
+		return g.steady(), true
+	}
+	if g.phaseLeft <= 0 {
+		g.inBurst = !g.inBurst
+		if g.inBurst {
+			b := g.p.Burst
+			if g.episodeLeft == 0 && b.EpisodeProb > 0 {
+				g.phasesUntilEpisode--
+				if g.phasesUntilEpisode <= 0 {
+					g.episodeLeft = b.EpisodeLen
+					g.phasesUntilEpisode = g.episodeCadence()
+				}
+			}
+			if g.episodeLeft > 0 {
+				g.episodeLeft--
+				g.episodeActive = true
+				g.phaseLeft = b.EpisodeBurstInsts // coherent: no jitter
+			} else {
+				g.episodeActive = false
+				g.phaseLeft = g.jittered(b.BurstInsts)
+			}
+		} else {
+			misses := g.p.Burst.StallMisses
+			if g.episodeActive {
+				// Episode stalls append a data-dependent barrier
+				// branch so the quiet phase truly goes quiet.
+				if g.p.Burst.EpisodeStallMisses > 0 {
+					misses = g.p.Burst.EpisodeStallMisses
+				}
+				misses++
+			}
+			g.phaseLeft = misses
+		}
+	}
+	g.phaseLeft--
+	if g.inBurst {
+		return g.steady(), true
+	}
+	if g.phaseLeft == 0 && g.episodeActive {
+		// The episode stall ends with a mispredicted branch that
+		// depends on the last chain load (a data-dependent branch
+		// after a pointer chase): the frontend cannot fetch past it
+		// until the whole chain resolves, so the quiet phase actually
+		// goes quiet and the episode swings the full current range.
+		return cpu.Inst{Class: cpu.Branch, SrcDist1: 1, Mispredicted: true}, true
+	}
+	// Stall phase: a fully serialised miss chain. Without a barrier the
+	// frontend keeps dispatching the next burst behind it, so the dip
+	// is shallow — base oscillations stay harmless.
+	return cpu.Inst{Class: cpu.Load, SrcDist1: 1, Mem: g.p.Burst.StallLevel}, true
+}
+
+// steady samples one instruction from the steady-state model.
+func (g *Generator) steady() cpu.Inst {
+	var in cpu.Inst
+	f := g.r.Float64()
+	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
+		if f <= g.cum[cl] {
+			in.Class = cl
+			break
+		}
+	}
+	if g.episodeActive && g.p.Burst.EpisodeILP {
+		// Coherent hot loop: same mix, full parallelism, no misses.
+		if in.Class == cpu.Branch {
+			in.Mispredicted = false
+		}
+		return in
+	}
+	if g.p.DepProb > 0 && g.r.Bernoulli(g.p.DepProb) {
+		in.SrcDist1 = clampDist(g.r.Geometric(g.p.DepMean))
+		if g.p.Dep2Frac > 0 && g.r.Bernoulli(g.p.Dep2Frac) {
+			in.SrcDist2 = clampDist(g.r.Geometric(g.p.DepMean))
+		}
+	}
+	switch in.Class {
+	case cpu.Load, cpu.Store:
+		if g.r.Bernoulli(g.p.L1MissRate) {
+			if g.r.Bernoulli(g.p.L2MissRate) {
+				in.Mem = cpu.MemMain
+			} else {
+				in.Mem = cpu.MemL2
+			}
+		}
+	case cpu.Branch:
+		in.Mispredicted = g.r.Bernoulli(g.p.MispredictRate)
+	}
+	return in
+}
+
+// clampDist bounds a producer distance to the Inst field width.
+func clampDist(d int) uint16 {
+	if d > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(d)
+}

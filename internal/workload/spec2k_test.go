@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestTwentySixApps(t *testing.T) {
+	all := Apps()
+	if len(all) != 26 {
+		t.Fatalf("got %d apps, want the 26 of Table 2", len(all))
+	}
+	violating := 0
+	seen := map[string]bool{}
+	for _, a := range all {
+		if err := a.Params.Validate(); err != nil {
+			t.Errorf("%s: invalid params: %v", a.Params.Name, err)
+		}
+		if seen[a.Params.Name] {
+			t.Errorf("duplicate app %s", a.Params.Name)
+		}
+		seen[a.Params.Name] = true
+		if a.PaperViolating {
+			violating++
+			if a.PaperViolationFrac <= 0 {
+				t.Errorf("%s: violating app without a paper violation fraction", a.Params.Name)
+			}
+		} else if a.PaperViolationFrac != 0 {
+			t.Errorf("%s: non-violating app carries a violation fraction", a.Params.Name)
+		}
+		if a.PaperIPC <= 0 || a.PaperIPC > 8 {
+			t.Errorf("%s: implausible paper IPC %g", a.Params.Name, a.PaperIPC)
+		}
+	}
+	if violating != 12 {
+		t.Errorf("%d violating apps, want 12", violating)
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params.Name != "parser" || !a.PaperViolating {
+		t.Errorf("ByName(parser) = %+v", a.Params.Name)
+	}
+	if _, err := ByName("quake3"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestNamesMatchApps(t *testing.T) {
+	names := Names()
+	all := Apps()
+	if len(names) != len(all) {
+		t.Fatalf("Names/Apps length mismatch")
+	}
+	for i := range names {
+		if names[i] != all[i].Params.Name {
+			t.Errorf("index %d: %s vs %s", i, names[i], all[i].Params.Name)
+		}
+	}
+}
+
+func TestAppsReturnsCopy(t *testing.T) {
+	a := Apps()
+	a[0].Params.Name = "clobbered"
+	if Apps()[0].Params.Name == "clobbered" {
+		t.Error("Apps returned shared backing storage")
+	}
+}
+
+// TestAppIPCCalibration verifies every synthetic app lands near the IPC
+// the paper reports in Table 2 (which the models are calibrated against).
+func TestAppIPCCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Params.Name, func(t *testing.T) {
+			t.Parallel()
+			g := NewGenerator(a.Params, 200_000)
+			core := cpu.New(cpu.DefaultConfig(), g)
+			core.Run(5_000_000, cpu.Unlimited)
+			if !core.Done() {
+				t.Fatal("stream did not drain")
+			}
+			ipc := core.IPC()
+			rel := (ipc - a.PaperIPC) / a.PaperIPC
+			if rel < -0.12 || rel > 0.12 {
+				t.Errorf("IPC %.2f vs paper %.2f (%.0f%% off)", ipc, a.PaperIPC, rel*100)
+			}
+		})
+	}
+}

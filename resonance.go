@@ -1,0 +1,463 @@
+// Package resonance is a Go reproduction of "Exploiting Resonant Behavior
+// to Reduce Inductive Noise" (Powell & Vijaykumar, ISCA 2004).
+//
+// Inductive (di/dt) noise turns processor current variation into
+// supply-voltage glitches through the power-distribution network's
+// impedance, which peaks at RLC resonant frequencies. Only repeated
+// current variations inside the resonance band build up to noise-margin
+// violations; the paper's technique, resonance tuning, detects such
+// nascent resonance by counting chained resonant events in the sensed
+// core current and then moves the frequency of current variations out of
+// the band with a gentle two-tier pipeline response.
+//
+// This package is the public face of the reproduction. It exposes:
+//
+//   - the second-order power-supply model and its calibration
+//     (resonant frequency, quality factor, resonance band, resonant
+//     current variation threshold, maximum repetition tolerance);
+//   - a cycle-level 8-wide out-of-order processor with a Wattch-style
+//     power model and the Table 1 design point;
+//   - synthetic models of the 26 SPEC2K applications of Table 2;
+//   - resonance tuning plus the two prior techniques the paper compares
+//     against (voltage-threshold control [10] and pipeline damping [14]);
+//   - runners that regenerate every table and figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	res, err := resonance.Simulate(resonance.SimulationSpec{App: "parser"})
+//	rep, err := resonance.RunExperiment("table3", resonance.Options{})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// versus published numbers.
+package resonance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/baselines/damping"
+	"repro/internal/baselines/voltctl"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/trace"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// Core simulation types, re-exported for callers.
+type (
+	// SupplyParams describes the RLC power-distribution network.
+	SupplyParams = circuit.Params
+	// SupplyCalibration holds the Section 2.1.3 design-time values.
+	SupplyCalibration = circuit.Calibration
+	// CPUConfig holds the processor's structural parameters.
+	CPUConfig = cpu.Config
+	// PowerConfig holds the electrical envelope (Vdd, peak/idle power).
+	PowerConfig = power.Config
+	// SimConfig assembles a full system.
+	SimConfig = sim.Config
+	// Result summarises one application run.
+	Result = sim.Result
+	// TracePoint is one cycle of a captured waveform.
+	TracePoint = sim.TracePoint
+	// TuningConfig parameterises resonance tuning.
+	TuningConfig = tuning.Config
+	// VoltageControlConfig parameterises the technique of [10].
+	VoltageControlConfig = voltctl.Config
+	// DampingConfig parameterises pipeline damping [14].
+	DampingConfig = damping.Config
+	// App is one synthetic SPEC2K application model.
+	App = workload.App
+	// Options tunes experiment execution.
+	Options = experiments.Options
+	// Report is an experiment's outcome.
+	Report = experiments.Report
+	// Experiment couples an identifier with its runner.
+	Experiment = experiments.Experiment
+)
+
+// Table1Supply returns the paper's evaluated power supply (Table 1):
+// 1.0 V, 10 GHz, 105/35 A, R = 375 µΩ, L = 1.69 pH, C = 1500 nF.
+func Table1Supply() SupplyParams { return circuit.Table1() }
+
+// Section2Supply returns the present-day package example of Section 2.1.
+func Section2Supply() SupplyParams { return circuit.Section2Example() }
+
+// Table1System returns the full Table 1 simulation configuration.
+func Table1System() SimConfig { return sim.DefaultConfig() }
+
+// CalibrateSupply runs the Section 2.1.3 procedure: it determines the
+// resonant current variation threshold, the band-edge tolerance, and the
+// maximum repetition tolerance by stimulating the simulated supply.
+func CalibrateSupply(p SupplyParams) (SupplyCalibration, error) {
+	return circuit.Calibrate(p)
+}
+
+// Apps returns the 26 synthetic SPEC2K application models in Table 2
+// order.
+func Apps() []App { return workload.Apps() }
+
+// AppByName returns one application model.
+func AppByName(name string) (App, error) { return workload.ByName(name) }
+
+// TechniqueKind selects an inductive-noise control scheme.
+type TechniqueKind string
+
+// Available techniques.
+const (
+	// TechniqueNone runs the uncontrolled base processor.
+	TechniqueNone TechniqueKind = "base"
+	// TechniqueTuning is resonance tuning, the paper's contribution.
+	TechniqueTuning TechniqueKind = "tuning"
+	// TechniqueVoltageControl is the voltage-threshold scheme of [10].
+	TechniqueVoltageControl TechniqueKind = "voltctl"
+	// TechniqueDamping is pipeline damping [14].
+	TechniqueDamping TechniqueKind = "damping"
+)
+
+// SimulationSpec describes one run for Simulate.
+type SimulationSpec struct {
+	// App names a Table 2 application (see Apps).
+	App string
+	// Instructions is the run length; zero means 1,000,000.
+	Instructions uint64
+	// Technique selects the control scheme; empty means TechniqueNone.
+	Technique TechniqueKind
+
+	// System overrides the Table 1 system when non-nil.
+	System *SimConfig
+	// Tuning overrides the paper's tuning configuration when non-nil
+	// (only used with TechniqueTuning).
+	Tuning *TuningConfig
+	// VoltageControl overrides the default [10] configuration
+	// (20 mV target, 10 mV noise, 5-cycle delay) when non-nil.
+	VoltageControl *VoltageControlConfig
+	// Damping overrides the default [14] configuration (50-cycle
+	// window, δ = 16 A) when non-nil.
+	Damping *DampingConfig
+
+	// Trace, when non-nil, receives every cycle's waveform point.
+	Trace func(TracePoint)
+}
+
+// DefaultTuningConfig returns the paper's evaluated resonance-tuning
+// configuration (Section 5.2) with the given initial response time.
+func DefaultTuningConfig(initialResponseCycles int) TuningConfig {
+	supply := circuit.Table1()
+	lo, hi := supply.ResonanceBandCycles().HalfPeriods()
+	return TuningConfig{
+		Detector: tuning.DetectorConfig{
+			HalfPeriodLo:           lo,
+			HalfPeriodHi:           hi,
+			ThresholdAmps:          32,
+			MaxRepetitionTolerance: 4,
+		},
+		InitialResponseThreshold: 2,
+		SecondResponseThreshold:  3,
+		InitialResponseCycles:    initialResponseCycles,
+		SecondResponseCycles:     35,
+		ReducedIssueWidth:        4,
+		ReducedCachePorts:        1,
+		PhantomTargetAmps:        70,
+	}
+}
+
+// Simulate runs one application under one technique on the Table 1 system
+// and returns the run summary.
+func Simulate(spec SimulationSpec) (Result, error) {
+	app, err := workload.ByName(spec.App)
+	if err != nil {
+		return Result{}, err
+	}
+	insts := spec.Instructions
+	if insts == 0 {
+		insts = 1_000_000
+	}
+	cfg := sim.DefaultConfig()
+	if spec.System != nil {
+		cfg = *spec.System
+	}
+
+	// A probe provides the power model for technique defaults.
+	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
+	if err != nil {
+		return Result{}, err
+	}
+	pwr := probe.Power()
+
+	var tech sim.Technique
+	var traceCount func() int
+	var traceLevel func() int
+	switch spec.Technique {
+	case TechniqueNone, "":
+	case TechniqueTuning:
+		tc := DefaultTuningConfig(100)
+		if spec.Tuning != nil {
+			tc = *spec.Tuning
+		}
+		if tc.PhantomTargetAmps == 0 {
+			tc.PhantomTargetAmps = pwr.MidAmps()
+		}
+		rt := sim.NewResonanceTuning(tc)
+		tech = rt
+		traceCount, traceLevel = rt.EventCount, rt.Level
+	case TechniqueVoltageControl:
+		vc := voltctl.Config{TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010, SensorDelayCycles: 5, Seed: 777}
+		if spec.VoltageControl != nil {
+			vc = *spec.VoltageControl
+		}
+		v := sim.NewVoltageControl(vc, pwr.PhantomFireAmps())
+		tech = v
+		traceLevel = v.Level
+	case TechniqueDamping:
+		dc := damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: 0.5}
+		if spec.Damping != nil {
+			dc = *spec.Damping
+		}
+		tech = sim.NewDamping(dc)
+	default:
+		return Result{}, fmt.Errorf("resonance: unknown technique %q", spec.Technique)
+	}
+
+	gen := workload.NewGenerator(app.Params, insts)
+	s, err := sim.New(cfg, gen, tech)
+	if err != nil {
+		return Result{}, err
+	}
+	if spec.Trace != nil {
+		s.SetTrace(spec.Trace, traceCount, traceLevel)
+	}
+	name := string(TechniqueNone)
+	if tech != nil {
+		name = tech.Name()
+	}
+	return s.Run(spec.App, name), nil
+}
+
+// Experiments lists every paper table/figure runner.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper table or figure by id ("fig1c",
+// "fig3", "fig4", "table2", "table3", "table4", "table5", "fig5",
+// "ablations").
+func RunExperiment(id string, opts Options) (Report, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return Report{}, err
+	}
+	return e.Run(opts)
+}
+
+// Figures renders an experiment report's structured data as standalone
+// SVG documents keyed by file stem; experiments without a graphical form
+// return an empty map.
+func Figures(rep Report) map[string]string { return experiments.Figures(rep) }
+
+// RecordWorkload serialises an application's instruction stream so it can
+// be replayed (or inspected, or replaced with an external trace) later.
+// It returns the number of instructions written.
+func RecordWorkload(w io.Writer, appName string, instructions uint64) (uint32, error) {
+	app, err := workload.ByName(appName)
+	if err != nil {
+		return 0, err
+	}
+	if instructions == 0 {
+		instructions = 1_000_000
+	}
+	return trace.Write(w, workload.NewGenerator(app.Params, instructions))
+}
+
+// ReplayWorkload runs a previously recorded instruction stream on the
+// Table 1 system under the given technique kind (empty = base machine).
+func ReplayWorkload(r io.Reader, kind TechniqueKind) (Result, error) {
+	rd, err := trace.Read(r)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sim.DefaultConfig()
+	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
+	if err != nil {
+		return Result{}, err
+	}
+	var tech sim.Technique
+	switch kind {
+	case TechniqueNone, "":
+	case TechniqueTuning:
+		tc := DefaultTuningConfig(100)
+		tc.PhantomTargetAmps = probe.Power().MidAmps()
+		tech = sim.NewResonanceTuning(tc)
+	case TechniqueVoltageControl:
+		tech = sim.NewVoltageControl(voltctl.Config{
+			TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010, SensorDelayCycles: 5, Seed: 777,
+		}, probe.Power().PhantomFireAmps())
+	case TechniqueDamping:
+		tech = sim.NewDamping(damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: 0.5})
+	default:
+		return Result{}, fmt.Errorf("resonance: unknown technique %q", kind)
+	}
+	s, err := sim.New(cfg, rd, tech)
+	if err != nil {
+		return Result{}, err
+	}
+	name := string(TechniqueNone)
+	if tech != nil {
+		name = tech.Name()
+	}
+	return s.Run("replayed-trace", name), nil
+}
+
+// HTMLReport renders a set of experiment reports as one self-contained
+// HTML page with the text blocks and SVG figures inlined.
+func HTMLReport(reps []Report) string { return experiments.HTMLReport(reps) }
+
+// SpectrumSummary condenses a current-trace spectral analysis.
+type SpectrumSummary struct {
+	// TotalVarianceA2 is the trace variance in A².
+	TotalVarianceA2 float64
+	// BandPowerA2 is the variance inside the resonance band.
+	BandPowerA2 float64
+	// BandFraction is BandPowerA2 over the total variance.
+	BandFraction float64
+	// PeakPeriodCycles is the period of the strongest spectral bin.
+	PeakPeriodCycles float64
+}
+
+// AnalyzeSpectrum Welch-analyses a per-cycle current trace against the
+// Table 1 resonance band (84-119 cycles).
+func AnalyzeSpectrum(currentTrace []float64) (SpectrumSummary, error) {
+	supply := circuit.Table1()
+	band := supply.ResonanceBandCycles()
+	sp, err := spectrum.Analyze(currentTrace, supply.ClockHz, 10, 4*float64(band.Hi))
+	if err != nil {
+		return SpectrumSummary{}, err
+	}
+	return SpectrumSummary{
+		TotalVarianceA2:  sp.TotalVariance,
+		BandPowerA2:      sp.BandPower(float64(band.Lo), float64(band.Hi)),
+		BandFraction:     sp.BandFraction(float64(band.Lo), float64(band.Hi)),
+		PeakPeriodCycles: sp.Peak().PeriodCycles,
+	}, nil
+}
+
+// TwoStageParams describes the Section 2.2 two-loop power-distribution
+// network with both the low- and medium-frequency resonances.
+type TwoStageParams = circuit.TwoStageParams
+
+// TwoStageSupply returns the Table 1 design extended with a
+// representative off-chip stage, placing the low-frequency peak near
+// 4 MHz.
+func TwoStageSupply() TwoStageParams { return circuit.Table1TwoStage() }
+
+// AutoTuningConfig designs a resonance-tuning configuration for an
+// arbitrary supply from first principles: it derives the detector band
+// from the supply's resonance characteristics, measures the resonant
+// current variation threshold and maximum repetition tolerance by
+// simulation (Section 2.1.3), sizes the second-level hold from the
+// damping rate, and applies the paper's response-threshold rules. The
+// initialResponseCycles knob trades first-level effectiveness against
+// performance exactly as Table 3 sweeps it.
+func AutoTuningConfig(p SupplyParams, c CPUConfig, initialResponseCycles int) (TuningConfig, error) {
+	cal, err := circuit.Calibrate(p)
+	if err != nil {
+		return TuningConfig{}, err
+	}
+	if cal.ThresholdAmps >= p.MaxCurrentSwing() {
+		return TuningConfig{}, fmt.Errorf(
+			"resonance: supply is overdesigned for this processor (threshold %g A ≥ max swing %g A); no tuning needed",
+			cal.ThresholdAmps, p.MaxCurrentSwing())
+	}
+	cfg := tuning.FromSupply(p, cal, c, initialResponseCycles, (p.IMax+p.IMin)/2)
+	if err := cfg.Validate(); err != nil {
+		return TuningConfig{}, err
+	}
+	return cfg, nil
+}
+
+// EnergyShare is one row of an energy breakdown.
+type EnergyShare struct {
+	// Unit names the consumer ("floor", "phantom", or an architectural
+	// unit such as "window" or "l1d").
+	Unit string
+	// Joules is the energy consumed; Percent its share of the total.
+	Joules  float64
+	Percent float64
+}
+
+// EnergyBreakdown re-runs the given simulation and reports where the
+// energy went: the ungated clock floor, each architectural unit's dynamic
+// share, and phantom operations, sorted by consumption.
+func EnergyBreakdown(spec SimulationSpec) ([]EnergyShare, error) {
+	app, err := workload.ByName(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	insts := spec.Instructions
+	if insts == 0 {
+		insts = 1_000_000
+	}
+	cfg := sim.DefaultConfig()
+	if spec.System != nil {
+		cfg = *spec.System
+	}
+	gen := workload.NewGenerator(app.Params, insts)
+	// Breakdown runs on the base machine plus whichever technique the
+	// spec selects; reuse Simulate's construction path by running fresh
+	// here with direct access to the power model.
+	s, err := sim.New(cfg, gen, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run(spec.App, "base")
+	floorJ, unitJ := s.Power().Breakdown()
+
+	total := res.EnergyJ
+	rows := []EnergyShare{{Unit: "floor", Joules: floorJ}}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		rows = append(rows, EnergyShare{Unit: u.String(), Joules: unitJ[u]})
+	}
+	if res.PhantomJ > 0 {
+		rows = append(rows, EnergyShare{Unit: "phantom", Joules: res.PhantomJ})
+	}
+	for i := range rows {
+		if total > 0 {
+			rows[i].Percent = 100 * rows[i].Joules / total
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Joules > rows[j].Joules })
+	return rows, nil
+}
+
+// ViolationReport describes one noise-margin violation burst and its
+// context (warning lead time, response state, surrounding current swing).
+type ViolationReport = sim.ViolationReport
+
+// Postmortem runs the simulation described by spec with a violation
+// analyser attached and returns the per-burst reports alongside the run
+// summary. warningLevel is the resonant event count treated as advance
+// warning (the paper's initial response threshold, 2); lookback bounds
+// how far back warnings are attributed (a few resonant periods).
+func Postmortem(spec SimulationSpec, warningLevel, lookback int) ([]ViolationReport, Result, error) {
+	cfg := sim.DefaultConfig()
+	if spec.System != nil {
+		cfg = *spec.System
+	}
+	pm := sim.NewPostmortem(cfg.Supply.NoiseMarginVolts(), warningLevel, lookback)
+	prev := spec.Trace
+	spec.Trace = func(tp TracePoint) {
+		pm.Observe(tp)
+		if prev != nil {
+			prev(tp)
+		}
+	}
+	res, err := Simulate(spec)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return pm.Reports(), res, nil
+}
