@@ -63,7 +63,12 @@ func main() {
 		}
 	}
 
-	opts := resonance.Options{Instructions: *insts, Parallelism: *parallel}
+	// One engine for the whole invocation: experiments share its worker
+	// pool and result cache, so e.g. the 26-app baseline suite simulates
+	// once even when table2, table3, table4, table5, and fig5 all ask
+	// for it.
+	eng := resonance.NewEngine(*parallel)
+	opts := resonance.Options{Instructions: *insts, Parallelism: *parallel, Engine: eng}
 	var reports []resonance.Report
 	for _, id := range ids {
 		start := time.Now()

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro"
 )
@@ -116,9 +118,28 @@ func main() {
 		}
 	}
 
-	res, err := resonance.Simulate(spec)
-	if err != nil {
-		fatal(err)
+	// Run through the engine, keeping the process responsive to an
+	// interrupt while the simulation executes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	type outcome struct {
+		res resonance.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := resonance.NewEngine(1).Run(ctx, spec)
+		ch <- outcome{res, err}
+	}()
+	var res resonance.Result
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			fatal(out.err)
+		}
+		res = out.res
+	case <-ctx.Done():
+		fatal(ctx.Err())
 	}
 	fmt.Printf("app:            %s\n", res.App)
 	fmt.Printf("technique:      %s\n", res.Technique)

@@ -3,21 +3,32 @@
 // response threshold, and second-level hold, reporting slowdown,
 // energy-delay, and residual violations per point as CSV.
 //
+// Grid points run through the shared engine (internal/engine): a bounded
+// worker pool executes them in parallel and a content-addressed result
+// cache deduplicates identical points — including each application's
+// baseline, which is just another cached run rather than a special case.
+// Rows stream to the output as points complete, in stable grid order.
+//
 // Usage:
 //
 //	sweep                                   # default grid on the heavy violators
 //	sweep -apps lucas,swim -insts 500000
 //	sweep -initial 50,100,200 -threshold 1,2 -o grid.csv
+//	sweep -parallel 4                       # bound the worker pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/engine"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -27,16 +38,24 @@ func main() {
 		initials  = flag.String("initial", "75,100,150,200", "initial response times (cycles)")
 		thresh    = flag.String("threshold", "1,2", "initial response thresholds (event count)")
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		out       = flag.String("o", "", "write CSV to this file instead of stdout")
 	)
 	flag.Parse()
 
-	apps := strings.Split(*appsFlag, ",")
-	initialList := parseInts(*initials)
-	threshList := parseInts(*thresh)
-	secondList := parseInts(*secondMin)
+	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts}
+	var err error
+	if grid.initials, err = parseInts(*initials); err != nil {
+		fatal(fmt.Errorf("-initial: %w", err))
+	}
+	if grid.thresholds, err = parseInts(*thresh); err != nil {
+		fatal(fmt.Errorf("-threshold: %w", err))
+	}
+	if grid.seconds, err = parseInts(*secondMin); err != nil {
+		fatal(fmt.Errorf("-second: %w", err))
+	}
 
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -45,52 +64,136 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	fmt.Fprintln(w, "app,initial_cycles,initial_threshold,second_cycles,slowdown,rel_energy,rel_energy_delay,base_violations,violations")
 
-	for _, app := range apps {
-		app = strings.TrimSpace(app)
-		base, err := resonance.Simulate(resonance.SimulationSpec{App: app, Instructions: *insts})
-		if err != nil {
-			fatal(err)
-		}
-		for _, initial := range initialList {
-			for _, th := range threshList {
-				for _, second := range secondList {
-					cfg := resonance.DefaultTuningConfig(initial)
-					cfg.InitialResponseThreshold = th
-					if cfg.SecondResponseThreshold <= th {
-						cfg.SecondResponseThreshold = th + 1
-					}
-					cfg.SecondResponseCycles = second
-					res, err := resonance.Simulate(resonance.SimulationSpec{
-						App: app, Instructions: *insts,
-						Technique: resonance.TechniqueTuning, Tuning: &cfg,
-					})
-					if err != nil {
-						fatal(err)
-					}
-					slow := float64(res.Cycles) / float64(base.Cycles)
-					energy := res.EnergyJ / base.EnergyJ
-					fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d\n",
-						app, initial, th, second, slow, energy, slow*energy,
-						base.Violations, res.Violations)
+	eng := engine.New(engine.Options{Parallelism: *parallel})
+	if err := runSweep(context.Background(), eng, grid, w); err != nil {
+		fatal(err)
+	}
+}
+
+// sweepGrid is the cross product the sweep explores.
+type sweepGrid struct {
+	apps       []string
+	insts      uint64
+	initials   []int
+	thresholds []int
+	seconds    []int
+}
+
+// gridPoint is one tuned configuration of the grid, remembering which
+// baseline its relatives are computed against.
+type gridPoint struct {
+	appIdx              int
+	app                 string
+	initial, th, second int
+}
+
+// points enumerates the grid in stable app-major order — the CSV row
+// order, regardless of completion order.
+func (g sweepGrid) points() []gridPoint {
+	var pts []gridPoint
+	for ai, app := range g.apps {
+		for _, initial := range g.initials {
+			for _, th := range g.thresholds {
+				for _, second := range g.seconds {
+					pts = append(pts, gridPoint{appIdx: ai, app: app, initial: initial, th: th, second: second})
 				}
 			}
 		}
 	}
+	return pts
 }
 
-// parseInts splits a comma-separated integer list.
-func parseInts(s string) []int {
+// spec builds the tuned run of one grid point.
+func (p gridPoint) spec(insts uint64) engine.Spec {
+	cfg := resonance.DefaultTuningConfig(p.initial)
+	cfg.InitialResponseThreshold = p.th
+	if cfg.SecondResponseThreshold <= p.th {
+		cfg.SecondResponseThreshold = p.th + 1
+	}
+	cfg.SecondResponseCycles = p.second
+	return engine.Spec{App: p.app, Instructions: insts, Technique: engine.TechniqueTuning, Tuning: &cfg}
+}
+
+const csvHeader = "app,initial_cycles,initial_threshold,second_cycles,slowdown,rel_energy,rel_energy_delay,base_violations,violations"
+
+// runSweep executes the grid through eng and streams CSV rows to w as
+// points complete, preserving grid order. Engine errors carry the
+// coordinates of the failing point.
+func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+
+	// Per-app baselines are ordinary engine runs: cached, so later
+	// sweeps (or other drivers sharing the engine) reuse them for free.
+	baseSpecs := make([]engine.Spec, len(g.apps))
+	for i, app := range g.apps {
+		baseSpecs[i] = engine.Spec{App: app, Instructions: g.insts}
+	}
+	bases, err := eng.RunAll(ctx, baseSpecs, nil)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+
+	pts := g.points()
+	ep := make([]engine.Point, len(pts))
+	for i, p := range pts {
+		ep[i] = engine.Point{
+			Label: fmt.Sprintf("app=%s initial=%d threshold=%d second=%d", p.app, p.initial, p.th, p.second),
+			Spec:  p.spec(g.insts),
+		}
+	}
+
+	// The progress callback is serialized by the engine; buffer rows
+	// that finish early and flush the contiguous prefix in grid order.
+	rows := make([]string, len(pts))
+	done := make([]bool, len(pts))
+	next := 0
+	var werr error
+	_, err = eng.Grid(ctx, ep, func(i int, res sim.Result) {
+		p := pts[i]
+		base := bases[p.appIdx]
+		slow := float64(res.Cycles) / float64(base.Cycles)
+		energy := res.EnergyJ / base.EnergyJ
+		rows[i] = fmt.Sprintf("%s,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d\n",
+			p.app, p.initial, p.th, p.second, slow, energy, slow*energy,
+			base.Violations, res.Violations)
+		done[i] = true
+		for next < len(pts) && done[next] {
+			if _, err := io.WriteString(w, rows[next]); err != nil && werr == nil {
+				werr = err
+			}
+			rows[next] = ""
+			next++
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+// splitApps splits and trims the -apps list.
+func splitApps(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
+}
+
+// parseInts splits a comma-separated integer list, rejecting junk.
+func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatal(fmt.Errorf("bad integer %q: %w", part, err))
+			return nil, fmt.Errorf("bad integer %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func fatal(err error) {

@@ -1,17 +1,210 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro"
+	"repro/internal/engine"
 )
 
 func TestParseInts(t *testing.T) {
-	got := parseInts("75, 100,200")
+	got, err := parseInts("75, 100,200")
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []int{75, 100, 200}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("parseInts = %v, want %v", got, want)
 	}
-	if got := parseInts("42"); !reflect.DeepEqual(got, []int{42}) {
-		t.Errorf("single value = %v", got)
+	if got, err := parseInts("42"); err != nil || !reflect.DeepEqual(got, []int{42}) {
+		t.Errorf("single value = %v, %v", got, err)
+	}
+	for _, junk := range []string{"", "12,", "a", "1,b,3", "1.5", "7 8"} {
+		if got, err := parseInts(junk); err == nil {
+			t.Errorf("parseInts(%q) accepted junk: %v", junk, got)
+		}
+	}
+}
+
+// serialSweep is the seed's sweep loop, kept as the reference the engine
+// path must match byte for byte: one baseline per app, then every grid
+// point simulated serially via resonance.Simulate.
+func serialSweep(g sweepGrid, w *bytes.Buffer) error {
+	fmt.Fprintln(w, csvHeader)
+	for _, app := range g.apps {
+		base, err := resonance.Simulate(resonance.SimulationSpec{App: app, Instructions: g.insts})
+		if err != nil {
+			return err
+		}
+		for _, initial := range g.initials {
+			for _, th := range g.thresholds {
+				for _, second := range g.seconds {
+					cfg := resonance.DefaultTuningConfig(initial)
+					cfg.InitialResponseThreshold = th
+					if cfg.SecondResponseThreshold <= th {
+						cfg.SecondResponseThreshold = th + 1
+					}
+					cfg.SecondResponseCycles = second
+					res, err := resonance.Simulate(resonance.SimulationSpec{
+						App: app, Instructions: g.insts,
+						Technique: resonance.TechniqueTuning, Tuning: &cfg,
+					})
+					if err != nil {
+						return err
+					}
+					slow := float64(res.Cycles) / float64(base.Cycles)
+					energy := res.EnergyJ / base.EnergyJ
+					fmt.Fprintf(w, "%s,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d\n",
+						app, initial, th, second, slow, energy, slow*energy,
+						base.Violations, res.Violations)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// tinyGrid keeps end-to-end tests fast.
+func tinyGrid() sweepGrid {
+	return sweepGrid{
+		apps:       []string{"lucas", "parser"},
+		insts:      20_000,
+		initials:   []int{75, 100},
+		thresholds: []int{1, 2},
+		seconds:    []int{35},
+	}
+}
+
+// TestSweepMatchesSerial: the parallel cached engine sweep emits exactly
+// the CSV the seed's serial loop emitted.
+func TestSweepMatchesSerial(t *testing.T) {
+	g := tinyGrid()
+	var want bytes.Buffer
+	if err := serialSweep(g, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	eng := engine.New(engine.Options{Parallelism: 4})
+	if err := runSweep(context.Background(), eng, g, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("engine sweep diverged from serial reference:\n--- serial ---\n%s--- engine ---\n%s", want.String(), got.String())
+	}
+}
+
+// TestSweepErrorNamesGridPoint: a failing point is reported with its
+// coordinates.
+func TestSweepErrorNamesGridPoint(t *testing.T) {
+	g := tinyGrid()
+	g.apps = []string{"lucas", "no-such-app"}
+	var sink bytes.Buffer
+	err := runSweep(context.Background(), engine.New(engine.Options{}), g, &sink)
+	if err == nil {
+		t.Fatal("sweep accepted an unknown application")
+	}
+	if !strings.Contains(err.Error(), "no-such-app") {
+		t.Errorf("error does not identify the failing point: %v", err)
+	}
+
+	// Baselines succeed but a tuned grid point fails: the error must
+	// carry the grid coordinates.
+	g = tinyGrid()
+	g.initials = []int{75, -1}
+	err = runSweep(context.Background(), engine.New(engine.Options{}), g, &sink)
+	if err == nil {
+		t.Fatal("sweep accepted a negative response time")
+	}
+	if !strings.Contains(err.Error(), "initial=-1") {
+		t.Errorf("error does not identify the failing grid point: %v", err)
+	}
+}
+
+// TestSweepReusesBaselines: every baseline demanded by the grid is
+// served from the same cache the grid shares; a second identical sweep
+// is entirely cache hits.
+func TestSweepReusesBaselines(t *testing.T) {
+	g := tinyGrid()
+	eng := engine.New(engine.Options{Parallelism: 2})
+	var first bytes.Buffer
+	if err := runSweep(context.Background(), eng, g, &first); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	wantRuns := uint64(len(g.apps) * (1 + len(g.initials)*len(g.thresholds)*len(g.seconds)))
+	if st.Misses != wantRuns {
+		t.Errorf("first sweep simulated %d points, want %d", st.Misses, wantRuns)
+	}
+	var second bytes.Buffer
+	if err := runSweep(context.Background(), eng, g, &second); err != nil {
+		t.Fatal(err)
+	}
+	st2 := eng.CacheStats()
+	if st2.Misses != st.Misses {
+		t.Errorf("second sweep re-simulated: misses %d → %d", st.Misses, st2.Misses)
+	}
+	if first.String() != second.String() {
+		t.Error("cached sweep emitted different CSV")
+	}
+}
+
+// benchGrid is the default flag grid (4 apps × 4 initials × 2 thresholds
+// × 1 hold) at a reduced instruction budget so a benchmark iteration
+// stays in seconds.
+func benchGrid() sweepGrid {
+	return sweepGrid{
+		apps:       []string{"lucas", "swim", "bzip", "parser"},
+		insts:      30_000,
+		initials:   []int{75, 100, 150, 200},
+		thresholds: []int{1, 2},
+		seconds:    []int{35},
+	}
+}
+
+// BenchmarkSweepSerial measures the seed's serial loop on the default
+// grid shape.
+func BenchmarkSweepSerial(b *testing.B) {
+	g := benchGrid()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := serialSweep(g, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepEngine measures the engine-backed sweep (parallel, cold
+// cache each iteration) on the same grid.
+func BenchmarkSweepEngine(b *testing.B) {
+	g := benchGrid()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{})
+		var out bytes.Buffer
+		if err := runSweep(context.Background(), eng, g, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepEngineWarm measures a re-sweep against a warm cache —
+// the figure-regeneration case where every point is already known.
+func BenchmarkSweepEngineWarm(b *testing.B) {
+	g := benchGrid()
+	eng := engine.New(engine.Options{})
+	var prime bytes.Buffer
+	if err := runSweep(context.Background(), eng, g, &prime); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bytes.Buffer
+		if err := runSweep(context.Background(), eng, g, &out); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism bounds concurrently executing simulations across all
+	// of the engine's batch calls; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// DisableCache makes every run simulate afresh (used by benchmarks
+	// and equivalence tests; results are identical either way).
+	DisableCache bool
+}
+
+// Engine executes Specs through a bounded worker pool and memoizes their
+// Results in a content-addressed cache keyed by Spec.Key. An Engine is
+// safe for concurrent use; sharing one engine across drivers (e.g. every
+// experiment of a cmd/experiments invocation) shares both the pool and
+// the cache, so the 26-app base suite is simulated once per process, not
+// once per table.
+type Engine struct {
+	parallelism int
+	cacheOff    bool
+	slots       chan struct{}
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	hits    uint64
+	misses  uint64
+}
+
+// entry is one cache slot, created before its simulation starts so that
+// concurrent requests for the same spec coalesce onto a single run.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// New builds an engine.
+func New(o Options) *Engine {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallelism: p,
+		cacheOff:    o.DisableCache,
+		slots:       make(chan struct{}, p),
+		entries:     make(map[Key]*entry),
+	}
+}
+
+// Parallelism returns the engine's worker bound.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// CacheStats reports the engine's cache traffic.
+type CacheStats struct {
+	// Hits counts runs served from (or coalesced onto) an existing
+	// entry; Misses counts simulations actually executed.
+	Hits, Misses uint64
+	// Entries is the number of distinct specs cached.
+	Entries int
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
+}
+
+// Run executes one spec on the calling goroutine, serving it from the
+// cache when an identical spec has already run. Specs carrying a Trace
+// callback always simulate (the per-cycle side effects cannot be
+// replayed), but their result still lands in the cache. Cancelling ctx
+// abandons a wait on another goroutine's in-flight run; a simulation
+// already executing runs to completion.
+func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	if e.cacheOff {
+		return Execute(spec)
+	}
+	key, err := spec.Key()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	traced := spec.Trace != nil
+
+	e.mu.Lock()
+	if en, ok := e.entries[key]; ok && !traced {
+		e.hits++
+		e.mu.Unlock()
+		select {
+		case <-en.done:
+			return en.res, en.err
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		}
+	}
+	en := &entry{done: make(chan struct{})}
+	e.entries[key] = en
+	e.misses++
+	e.mu.Unlock()
+
+	en.res, en.err = Execute(spec)
+	close(en.done)
+	return en.res, en.err
+}
+
+// RunAll executes every spec through the worker pool and returns results
+// in spec order, bit-identical to running each spec alone. progress,
+// when non-nil, is invoked once per completed spec (calls are serialized
+// but arrive in completion order, not spec order). The first error
+// cancels the remaining queue and is returned annotated with the failing
+// spec.
+func (e *Engine) RunAll(ctx context.Context, specs []Spec, progress func(i int, res sim.Result)) ([]sim.Result, error) {
+	labels := make([]string, len(specs))
+	for i, s := range specs {
+		labels[i] = fmt.Sprintf("spec %d (app=%s, technique=%s)", i, s.App, s.Technique)
+	}
+	return e.runBatch(ctx, specs, labels, progress)
+}
+
+// Point is one grid coordinate: a spec plus the label used to identify
+// it in errors.
+type Point struct {
+	Label string
+	Spec  Spec
+}
+
+// Grid executes a set of labelled grid points, exactly like RunAll but
+// with caller-chosen labels in error messages (e.g. the sweep
+// coordinates of the point that failed).
+func (e *Engine) Grid(ctx context.Context, points []Point, progress func(i int, res sim.Result)) ([]sim.Result, error) {
+	specs := make([]Spec, len(points))
+	labels := make([]string, len(points))
+	for i, p := range points {
+		specs[i] = p.Spec
+		labels[i] = p.Label
+	}
+	return e.runBatch(ctx, specs, labels, progress)
+}
+
+func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string, progress func(int, sim.Result)) ([]sim.Result, error) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	results := make([]sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case e.slots <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			res, err := e.Run(ctx, specs[i])
+			<-e.slots
+			if err != nil {
+				errs[i] = err
+				cancel() // first failure drains the queue
+				return
+			}
+			results[i] = res
+			if progress != nil {
+				progressMu.Lock()
+				progress(i, res)
+				progressMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Report the root-cause error, not the cascade of cancellations it
+	// triggered; a parent-context cancellation surfaces as itself.
+	var canceled error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			canceled = err
+			continue
+		}
+		return nil, fmt.Errorf("engine: %s: %w", labels[i], err)
+	}
+	if canceled != nil {
+		if err := parent.Err(); err != nil {
+			return nil, err
+		}
+		return nil, canceled
+	}
+	return results, nil
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// specFromFuzz builds a Spec from fuzzed primitives, exercising every
+// optional section. Selectors deliberately produce out-of-range and
+// junk values: the key must be total over junk specs too (only an
+// unknown technique kind is unkeyable, and that consistently).
+func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float64, i1, i2 int) Spec {
+	s := Spec{App: app, Instructions: insts}
+	switch techSel % 5 {
+	case 0: // base, left implicit
+	case 1:
+		s.Technique = TechniqueNone
+	case 2:
+		s.Technique = TechniqueTuning
+		if variant%2 == 1 {
+			tc := DefaultTuningConfig(i1)
+			tc.PhantomTargetAmps = f1
+			tc.ResponseDelayCycles = i2
+			s.Tuning = &tc
+		}
+	case 3:
+		s.Technique = TechniqueVoltageControl
+		if variant%2 == 1 {
+			vc := defaultVoltageControl()
+			vc.TargetThresholdVolts = f1
+			vc.SensorNoiseVolts = f2
+			vc.SensorDelayCycles = i1
+			s.VoltageControl = &vc
+		}
+	case 4:
+		s.Technique = TechniqueDamping
+		if variant%2 == 1 {
+			dc := defaultDamping()
+			dc.DeltaAmps = f1
+			dc.WindowCycles = i1
+			dc.LowerScale = f2
+			s.Damping = &dc
+		}
+	}
+	if variant%4 >= 2 {
+		cfg := *mustNormalize(Spec{App: app}).System
+		cfg.SensorDelayCycles = i2
+		cfg.Power.PeakWatts += f2
+		s.System = &cfg
+	}
+	return s
+}
+
+func mustNormalize(s Spec) Spec {
+	n, err := s.normalized()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// FuzzSpecKey asserts the cache key's defining property: two specs hash
+// equal exactly when their canonical encodings are equal. Seeds come
+// from the specs the experiments actually run.
+func FuzzSpecKey(f *testing.F) {
+	// Seed corpus: baseline, Table 3 tuning points, Table 4 voltage
+	// control, Table 5 damping, and mirrored pairs that must collide.
+	f.Add("swim", uint64(0), uint8(0), uint8(0), 0.0, 0.0, 0, 0,
+		"swim", uint64(1_000_000), uint8(1), uint8(0), 0.0, 0.0, 0, 0)
+	f.Add("lucas", uint64(300_000), uint8(2), uint8(1), 70.0, 0.0, 75, 0,
+		"lucas", uint64(300_000), uint8(2), uint8(1), 70.0, 0.0, 100, 5)
+	f.Add("parser", uint64(500_000), uint8(3), uint8(1), 0.020, 0.010, 5, 0,
+		"parser", uint64(500_000), uint8(3), uint8(1), 0.020, 0.015, 3, 0)
+	f.Add("bzip", uint64(1_000_000), uint8(4), uint8(1), 16.0, 0.0, 50, 0,
+		"bzip", uint64(1_000_000), uint8(4), uint8(1), 8.0, 0.0, 50, 0)
+	f.Add("art", uint64(42), uint8(2), uint8(3), -1.5, 3.25, -7, 9,
+		"art", uint64(42), uint8(2), uint8(3), -1.5, 3.25, -7, 9)
+
+	f.Fuzz(func(t *testing.T,
+		appA string, instsA uint64, techA, varA uint8, f1A, f2A float64, i1A, i2A int,
+		appB string, instsB uint64, techB, varB uint8, f1B, f2B float64, i1B, i2B int) {
+		a := specFromFuzz(appA, instsA, techA, varA, f1A, f2A, i1A, i2A)
+		b := specFromFuzz(appB, instsB, techB, varB, f1B, f2B, i1B, i2B)
+
+		ca, errA := a.Canonical()
+		cb, errB := b.Canonical()
+		if errA != nil || errB != nil {
+			t.Fatalf("canonical encoding failed on constructible specs: %v, %v", errA, errB)
+		}
+		ka, err := a.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := b.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ka == kb) != bytes.Equal(ca, cb) {
+			t.Errorf("hash/encoding disagreement:\nspec A %+v\nspec B %+v\nkeys equal %v, encodings equal %v",
+				a, b, ka == kb, bytes.Equal(ca, cb))
+		}
+
+		// Re-hashing is stable, and copying the spec by value (fresh
+		// pointer targets) must not change the key.
+		aCopy := a
+		if a.Tuning != nil {
+			tc := *a.Tuning
+			aCopy.Tuning = &tc
+		}
+		if a.VoltageControl != nil {
+			vc := *a.VoltageControl
+			aCopy.VoltageControl = &vc
+		}
+		if a.Damping != nil {
+			dc := *a.Damping
+			aCopy.Damping = &dc
+		}
+		if a.System != nil {
+			sc := *a.System
+			aCopy.System = &sc
+		}
+		kc, err := aCopy.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kc != ka {
+			t.Errorf("pointer identity leaked into the key:\n%+v", a)
+		}
+	})
+}

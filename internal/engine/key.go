@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Key is the content address of a Spec: the SHA-256 of its canonical
+// encoding. Two Specs share a Key exactly when their canonical encodings
+// are equal, i.e. when they describe the same simulation after default
+// resolution — pointer identity, field defaulting, and unused technique
+// configurations never influence it.
+type Key [sha256.Size]byte
+
+// String renders the key as short hex for logs and error messages.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// Key returns the spec's content address. The Trace callback is not part
+// of the identity: a traced run computes the same Result as an untraced
+// one.
+func (s Spec) Key() (Key, error) {
+	enc, err := s.Canonical()
+	if err != nil {
+		return Key{}, err
+	}
+	return sha256.Sum256(enc), nil
+}
+
+// Canonical returns the spec's canonical encoding: the normalized spec's
+// fields serialized in declaration order with fixed-width scalars,
+// length-prefixed strings, and presence bytes for optional sections. It
+// is the ground truth the fuzz tests compare Keys against.
+func (s Spec) Canonical() ([]byte, error) {
+	n, err := s.normalized()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	encodeString(&buf, n.App)
+	encodeUint(&buf, n.Instructions)
+	encodeString(&buf, string(n.Technique))
+	for _, section := range []any{n.System, n.Tuning, n.VoltageControl, n.Damping} {
+		if err := encodeValue(&buf, reflect.ValueOf(section)); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeString(buf *bytes.Buffer, s string) {
+	var n [binary.MaxVarintLen64]byte
+	buf.Write(n[:binary.PutUvarint(n[:], uint64(len(s)))])
+	buf.WriteString(s)
+}
+
+func encodeUint(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+// encodeValue serializes a configuration value field-by-field in struct
+// declaration order. It is reflection-driven so that a field added to
+// any config struct is picked up automatically instead of silently
+// aliasing distinct specs to one cache entry.
+func encodeValue(buf *bytes.Buffer, v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			buf.WriteByte(0)
+			return nil
+		}
+		buf.WriteByte(1)
+		return encodeValue(buf, v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if err := encodeValue(buf, v.Field(i)); err != nil {
+				return fmt.Errorf("%s.%s: %w", v.Type(), v.Type().Field(i).Name, err)
+			}
+		}
+		return nil
+	case reflect.String:
+		encodeString(buf, v.String())
+		return nil
+	case reflect.Bool:
+		if v.Bool() {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		encodeUint(buf, uint64(v.Int()))
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		encodeUint(buf, v.Uint())
+		return nil
+	case reflect.Float32, reflect.Float64:
+		encodeUint(buf, math.Float64bits(v.Float()))
+		return nil
+	default:
+		return fmt.Errorf("engine: cannot canonically encode kind %s", v.Kind())
+	}
+}

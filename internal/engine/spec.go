@@ -1,0 +1,232 @@
+// Package engine is the shared run-execution subsystem: every driver in
+// the repo (the public resonance.Simulate, cmd/sweep, cmd/rtsim,
+// cmd/experiments, and the internal/experiments runners) describes a run
+// as a Spec and hands it to an Engine, which executes it through a
+// bounded worker pool with context cancellation and serves repeated
+// specs from a content-addressed result cache.
+//
+// Because the whole simulated system is a pure function of its
+// configuration (see internal/sim's determinism tests), two Specs with
+// equal canonical encodings always produce bit-identical Results; the
+// cache and the pool are therefore invisible to callers except in wall
+// time.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/baselines/damping"
+	"repro/internal/baselines/voltctl"
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
+)
+
+// DefaultInstructions is the run length used when a Spec leaves
+// Instructions zero.
+const DefaultInstructions = 1_000_000
+
+// TechniqueKind selects an inductive-noise control scheme.
+type TechniqueKind string
+
+// Available techniques.
+const (
+	// TechniqueNone runs the uncontrolled base processor.
+	TechniqueNone TechniqueKind = "base"
+	// TechniqueTuning is resonance tuning, the paper's contribution.
+	TechniqueTuning TechniqueKind = "tuning"
+	// TechniqueVoltageControl is the voltage-threshold scheme of [10].
+	TechniqueVoltageControl TechniqueKind = "voltctl"
+	// TechniqueDamping is pipeline damping [14].
+	TechniqueDamping TechniqueKind = "damping"
+)
+
+// Spec describes one deterministic simulation run: the application, the
+// run length, the technique and its configuration, and the simulated
+// system. It is the unit of caching — see Key.
+type Spec struct {
+	// App names a Table 2 application (see workload.Apps).
+	App string
+	// Instructions is the run length; zero means DefaultInstructions.
+	Instructions uint64
+	// Technique selects the control scheme; empty means TechniqueNone.
+	Technique TechniqueKind
+
+	// System overrides the Table 1 system when non-nil.
+	System *sim.Config
+	// Tuning overrides the paper's tuning configuration when non-nil
+	// (only used with TechniqueTuning).
+	Tuning *tuning.Config
+	// VoltageControl overrides the default [10] configuration
+	// (20 mV target, 10 mV noise, 5-cycle delay) when non-nil.
+	VoltageControl *voltctl.Config
+	// Damping overrides the default [14] configuration (50-cycle
+	// window, δ = 16 A) when non-nil.
+	Damping *DampingConfig
+
+	// Trace, when non-nil, receives every cycle's waveform point. A
+	// traced run always simulates — the callback's side effects cannot
+	// be replayed from a cached Result — but its result is still stored
+	// for later untraced consumers.
+	Trace func(sim.TracePoint)
+}
+
+// DampingConfig aliases the [14] configuration for Spec construction.
+type DampingConfig = damping.Config
+
+// DefaultTuningConfig returns the paper's evaluated resonance-tuning
+// configuration (Section 5.2) with the given initial response time.
+func DefaultTuningConfig(initialResponseCycles int) tuning.Config {
+	supply := circuit.Table1()
+	lo, hi := supply.ResonanceBandCycles().HalfPeriods()
+	return tuning.Config{
+		Detector: tuning.DetectorConfig{
+			HalfPeriodLo:           lo,
+			HalfPeriodHi:           hi,
+			ThresholdAmps:          32,
+			MaxRepetitionTolerance: 4,
+		},
+		InitialResponseThreshold: 2,
+		SecondResponseThreshold:  3,
+		InitialResponseCycles:    initialResponseCycles,
+		SecondResponseCycles:     35,
+		ReducedIssueWidth:        4,
+		ReducedCachePorts:        1,
+		PhantomTargetAmps:        70,
+	}
+}
+
+// defaultVoltageControl is the [10] configuration evaluated throughout
+// the repo when a Spec does not override it.
+func defaultVoltageControl() voltctl.Config {
+	return voltctl.Config{TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010, SensorDelayCycles: 5, Seed: 777}
+}
+
+// defaultDamping is the [14] configuration evaluated throughout the repo
+// when a Spec does not override it.
+func defaultDamping() damping.Config {
+	return damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: 0.5}
+}
+
+// normalized resolves every default so that two Specs describing the
+// same run — via zero values, via explicit defaults, or via distinct
+// pointers to equal configurations — become structurally identical. The
+// canonical encoding (and therefore the cache key) is computed from the
+// normalized form, and Execute builds the simulation from it, which is
+// what makes the cache sound.
+func (s Spec) normalized() (Spec, error) {
+	n := s
+	if n.Instructions == 0 {
+		n.Instructions = DefaultInstructions
+	}
+	if n.Technique == "" {
+		n.Technique = TechniqueNone
+	}
+	cfg := sim.DefaultConfig()
+	if n.System != nil {
+		cfg = *n.System
+	}
+	n.System = &cfg
+
+	// Only the selected technique's configuration is semantically
+	// meaningful; drop the rest so it cannot perturb the key.
+	n.Tuning, n.VoltageControl, n.Damping = nil, nil, nil
+	switch n.Technique {
+	case TechniqueNone:
+	case TechniqueTuning:
+		tc := DefaultTuningConfig(100)
+		if s.Tuning != nil {
+			tc = *s.Tuning
+		}
+		if tc.PhantomTargetAmps == 0 {
+			// The paper's second-level response holds the mid current
+			// level; replicate power.Model.MidAmps from the envelope.
+			tc.PhantomTargetAmps = (cfg.Power.PeakWatts/cfg.Power.Vdd + cfg.Power.IdleWatts/cfg.Power.Vdd) / 2
+		}
+		n.Tuning = &tc
+	case TechniqueVoltageControl:
+		vc := defaultVoltageControl()
+		if s.VoltageControl != nil {
+			vc = *s.VoltageControl
+		}
+		n.VoltageControl = &vc
+	case TechniqueDamping:
+		dc := defaultDamping()
+		if s.Damping != nil {
+			dc = *s.Damping
+		}
+		n.Damping = &dc
+	default:
+		return Spec{}, fmt.Errorf("engine: unknown technique %q", n.Technique)
+	}
+	return n, nil
+}
+
+// Execute builds and runs the simulation described by spec on the
+// calling goroutine, bypassing any cache. It is the single construction
+// path for every driver in the repo.
+func Execute(spec Spec) (sim.Result, error) {
+	n, err := spec.normalized()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	app, err := workload.ByName(n.App)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	// The technique constructors panic on unusable configurations;
+	// validate here so a bad grid point surfaces as an error naming it.
+	switch n.Technique {
+	case TechniqueTuning:
+		err = n.Tuning.Validate()
+	case TechniqueVoltageControl:
+		err = n.VoltageControl.Validate()
+	case TechniqueDamping:
+		err = n.Damping.Validate()
+	}
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := *n.System
+
+	// A probe provides the power model for technique defaults that
+	// depend on the electrical envelope (phantom-fire current).
+	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	pwr := probe.Power()
+
+	var tech sim.Technique
+	var traceCount func() int
+	var traceLevel func() int
+	switch n.Technique {
+	case TechniqueNone:
+	case TechniqueTuning:
+		rt := sim.NewResonanceTuning(*n.Tuning)
+		tech = rt
+		traceCount, traceLevel = rt.EventCount, rt.Level
+	case TechniqueVoltageControl:
+		v := sim.NewVoltageControl(*n.VoltageControl, pwr.PhantomFireAmps())
+		tech = v
+		traceLevel = v.Level
+	case TechniqueDamping:
+		tech = sim.NewDamping(*n.Damping)
+	}
+
+	gen := workload.NewGenerator(app.Params, n.Instructions)
+	s, err := sim.New(cfg, gen, tech)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if spec.Trace != nil {
+		s.SetTrace(spec.Trace, traceCount, traceLevel)
+	}
+	name := string(TechniqueNone)
+	if tech != nil {
+		name = tech.Name()
+	}
+	return s.Run(n.App, name), nil
+}

@@ -12,13 +12,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/tuning"
@@ -36,6 +37,12 @@ type Options struct {
 	// Parallelism bounds concurrent application simulations; zero means
 	// GOMAXPROCS.
 	Parallelism int
+	// Engine, when non-nil, executes the experiment's simulations,
+	// sharing its worker pool and result cache with every other
+	// experiment run through it (the 26-app baseline suite then
+	// simulates once per process instead of once per table). Nil means
+	// a private engine with Parallelism workers.
+	Engine *engine.Engine
 }
 
 func (o Options) instructions() uint64 {
@@ -50,6 +57,16 @@ func (o Options) parallelism() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return o.Parallelism
+}
+
+// engine returns the shared engine, or a private one for this
+// experiment. Runners call it once at their top so that at least the
+// experiment's own repeated points (its baseline suite) are cached.
+func (o Options) engine() *engine.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return engine.New(engine.Options{Parallelism: o.parallelism()})
 }
 
 // Report is the outcome of one experiment: a human-readable text block
@@ -108,33 +125,25 @@ func ByID(id string) (Experiment, error) {
 // techFactory builds a fresh technique instance for one application run;
 // nil factories mean the uncontrolled base processor. The power model is
 // provided so techniques can derive phantom-fire and mid-level currents.
+// It remains for experiments exercising techniques the engine's Spec
+// cannot express (the related-work controllers); everything else goes
+// through the engine.
 type techFactory func(app workload.App, pwr *power.Model) sim.Technique
 
-// runSuite simulates every application under the technique built by
-// factory, in parallel, and returns results in Table 2 application order.
-func runSuite(opts Options, factory techFactory) ([]sim.Result, error) {
+// runSuite simulates every Table 2 application under the technique
+// configuration carried by spec (App and Instructions are filled in per
+// application), through the engine's worker pool and cache, returning
+// results in Table 2 application order.
+func runSuite(eng *engine.Engine, opts Options, spec engine.Spec) ([]sim.Result, error) {
 	apps := workload.Apps()
-	results := make([]sim.Result, len(apps))
-	errs := make([]error, len(apps))
-
-	sem := make(chan struct{}, opts.parallelism())
-	var wg sync.WaitGroup
+	specs := make([]engine.Spec, len(apps))
 	for i, app := range apps {
-		wg.Add(1)
-		go func(i int, app workload.App) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = runOne(opts, app, factory)
-		}(i, app)
+		s := spec
+		s.App = app.Params.Name
+		s.Instructions = opts.instructions()
+		specs[i] = s
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return eng.RunAll(context.Background(), specs, nil)
 }
 
 // runOne simulates a single application.

@@ -8,10 +8,8 @@ import (
 	"repro/internal/baselines/damping"
 	"repro/internal/baselines/voltctl"
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Fig5Bar is one design point of the Figure 5 comparison.
@@ -35,7 +33,8 @@ type Fig5Data struct {
 // 0.25 of the threshold. The expected shape: resonance tuning wins,
 // followed by damping, with [10] worst once sensors are realistic.
 func Fig5(opts Options) (Report, error) {
-	base, err := runSuite(opts, nil)
+	eng := opts.engine()
+	base, err := runSuite(eng, opts, engine.Spec{})
 	if err != nil {
 		return Report{}, err
 	}
@@ -44,44 +43,39 @@ func Fig5(opts Options) (Report, error) {
 
 	type point struct {
 		label   string
-		factory techFactory
+		spec    engine.Spec
 		paperED float64
 	}
-	tuningFactory := func(initial int) techFactory {
-		return func(app workload.App, pwr *power.Model) sim.Technique {
-			cfg := paperTuningConfig(initial, 0)
-			cfg.PhantomTargetAmps = pwr.MidAmps()
-			return sim.NewResonanceTuning(cfg)
-		}
+	tuningSpec := func(initial int) engine.Spec {
+		cfg := paperTuningConfig(initial, 0)
+		return engine.Spec{Technique: engine.TechniqueTuning, Tuning: &cfg}
 	}
-	voltFactory := func(targetMV, noiseMV float64, delay int) techFactory {
-		return func(app workload.App, pwr *power.Model) sim.Technique {
-			return sim.NewVoltageControl(voltctl.Config{
-				TargetThresholdVolts: targetMV / 1000,
-				SensorNoiseVolts:     noiseMV / 1000,
-				SensorDelayCycles:    delay,
-				Seed:                 777,
-			}, pwr.PhantomFireAmps())
+	voltSpec := func(targetMV, noiseMV float64, delay int) engine.Spec {
+		cfg := voltctl.Config{
+			TargetThresholdVolts: targetMV / 1000,
+			SensorNoiseVolts:     noiseMV / 1000,
+			SensorDelayCycles:    delay,
+			Seed:                 777,
 		}
+		return engine.Spec{Technique: engine.TechniqueVoltageControl, VoltageControl: &cfg}
 	}
-	dampFactory := func(deltaAmps float64) techFactory {
-		return func(app workload.App, pwr *power.Model) sim.Technique {
-			return sim.NewDamping(damping.Config{WindowCycles: window, DeltaAmps: deltaAmps, Scale: dampingScale})
-		}
+	dampSpec := func(deltaAmps float64) engine.Spec {
+		cfg := damping.Config{WindowCycles: window, DeltaAmps: deltaAmps, Scale: dampingScale}
+		return engine.Spec{Technique: engine.TechniqueDamping, Damping: &cfg}
 	}
 
 	points := []point{
-		{"A: tuning, 75-cycle response", tuningFactory(75), 1.052},
-		{"B: tuning, 100-cycle response", tuningFactory(100), 1.057},
-		{"C: [10] 20mV/10mV/5cyc", voltFactory(20, 10, 5), 1.191},
-		{"D: [10] 20mV/15mV/3cyc", voltFactory(20, 15, 3), 1.460},
-		{"E: damping, δ=0.5×threshold", dampFactory(16), 1.17},
-		{"F: damping, δ=0.25×threshold", dampFactory(8), 1.26},
+		{"A: tuning, 75-cycle response", tuningSpec(75), 1.052},
+		{"B: tuning, 100-cycle response", tuningSpec(100), 1.057},
+		{"C: [10] 20mV/10mV/5cyc", voltSpec(20, 10, 5), 1.191},
+		{"D: [10] 20mV/15mV/3cyc", voltSpec(20, 15, 3), 1.460},
+		{"E: damping, δ=0.5×threshold", dampSpec(16), 1.17},
+		{"F: damping, δ=0.25×threshold", dampSpec(8), 1.26},
 	}
 
 	data := &Fig5Data{}
 	for _, pt := range points {
-		results, err := runSuite(opts, pt.factory)
+		results, err := runSuite(eng, opts, pt.spec)
 		if err != nil {
 			return Report{}, err
 		}

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
@@ -44,24 +45,37 @@ func Spectra(opts Options) (Report, error) {
 	band := cfg.Supply.ResonanceBandCycles()
 	lo, hi := float64(band.Lo), float64(band.Hi)
 
+	// Each spec carries its own trace sink, so the engine runs the suite
+	// through its pool while every worker appends to a distinct slice.
 	apps := workload.Apps()
-	rows := make([]SpectrumRow, len(apps))
-	errs := make([]error, len(apps))
-	sem := make(chan struct{}, opts.parallelism())
-	var wg sync.WaitGroup
+	specs := make([]engine.Spec, len(apps))
+	traces := make([][]float64, len(apps))
 	for i, app := range apps {
-		wg.Add(1)
-		go func(i int, app workload.App) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = analyzeApp(opts, app, lo, hi)
-		}(i, app)
+		i := i
+		traces[i] = make([]float64, 0, opts.instructions())
+		specs[i] = engine.Spec{
+			App:          app.Params.Name,
+			Instructions: opts.instructions(),
+			Trace:        func(tp sim.TracePoint) { traces[i] = append(traces[i], tp.TotalAmps) },
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	results, err := opts.engine().RunAll(context.Background(), specs, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	rows := make([]SpectrumRow, len(apps))
+	for i, app := range apps {
+		sp, err := spectrum.Analyze(traces[i], cfg.Supply.ClockHz, 10, 4*hi)
 		if err != nil {
-			return Report{}, err
+			return Report{}, fmt.Errorf("%s: %w", app.Params.Name, err)
+		}
+		rows[i] = SpectrumRow{
+			App:            app.Params.Name,
+			PaperViolating: app.PaperViolating,
+			BandPowerA2:    sp.BandPower(lo, hi),
+			BandFraction:   sp.BandFraction(lo, hi),
+			PeakPeriod:     sp.Peak().PeriodCycles,
+			Violations:     results[i].Violations,
 		}
 	}
 
@@ -96,32 +110,6 @@ func Spectra(opts Options) (Report, error) {
 	b.WriteString("the violating class carries the in-band energy — the spectral footing\n" +
 		"of the paper's \"only variations in the band are problematic\" claim.\n")
 	return Report{ID: "spectra", Text: b.String(), Data: data}, nil
-}
-
-// analyzeApp captures one app's current trace and analyses it.
-func analyzeApp(opts Options, app workload.App, lo, hi float64) (SpectrumRow, error) {
-	cfg := sim.DefaultConfig()
-	gen := workload.NewGenerator(app.Params, opts.instructions())
-	s, err := sim.New(cfg, gen, nil)
-	if err != nil {
-		return SpectrumRow{}, err
-	}
-	trace := make([]float64, 0, opts.instructions())
-	s.SetTrace(func(tp sim.TracePoint) { trace = append(trace, tp.TotalAmps) }, nil, nil)
-	res := s.Run(app.Params.Name, "base")
-
-	sp, err := spectrum.Analyze(trace, cfg.Supply.ClockHz, 10, 4*hi)
-	if err != nil {
-		return SpectrumRow{}, fmt.Errorf("%s: %w", app.Params.Name, err)
-	}
-	return SpectrumRow{
-		App:            app.Params.Name,
-		PaperViolating: app.PaperViolating,
-		BandPowerA2:    sp.BandPower(lo, hi),
-		BandFraction:   sp.BandFraction(lo, hi),
-		PeakPeriod:     sp.Peak().PeriodCycles,
-		Violations:     res.Violations,
-	}, nil
 }
 
 // classMeans averages in-band power by violation class.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -32,7 +33,7 @@ type Table2Data struct {
 // of cycles in noise-margin violation on the base (uncontrolled) Table 1
 // processor, classified into violating and non-violating sets.
 func Table2(opts Options) (Report, error) {
-	results, err := runSuite(opts, nil)
+	results, err := runSuite(opts.engine(), opts, engine.Spec{})
 	if err != nil {
 		return Report{}, err
 	}

@@ -3,13 +3,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/power"
 	"repro/internal/sim"
-
-	"repro/internal/workload"
 )
 
 // Table3Row is one resonance-tuning configuration's summary (one row of
@@ -56,7 +53,8 @@ var paperTable3 = []struct {
 // and relative energy-delay against the base machine, plus the paper's
 // 5-cycle-delay sensitivity check (Section 5.2).
 func Table3(opts Options) (Report, error) {
-	base, err := runSuite(opts, nil)
+	eng := opts.engine()
+	base, err := runSuite(eng, opts, engine.Spec{})
 	if err != nil {
 		return Report{}, err
 	}
@@ -65,7 +63,7 @@ func Table3(opts Options) (Report, error) {
 	type sweep struct{ initial, delay int }
 	sweeps := []sweep{{75, 0}, {100, 0}, {125, 0}, {150, 0}, {200, 0}, {100, 5}}
 	for _, sw := range sweeps {
-		row, err := runTuningConfig(opts, base, sw.initial, sw.delay)
+		row, err := runTuningConfig(eng, opts, base, sw.initial, sw.delay)
 		if err != nil {
 			return Report{}, err
 		}
@@ -104,31 +102,17 @@ func Table3(opts Options) (Report, error) {
 
 // runTuningConfig evaluates one resonance-tuning configuration across the
 // suite and summarises it.
-func runTuningConfig(opts Options, base []sim.Result, initial, delay int) (Table3Row, error) {
+func runTuningConfig(eng *engine.Engine, opts Options, base []sim.Result, initial, delay int) (Table3Row, error) {
 	cfg := paperTuningConfig(initial, delay)
-
-	var mu sync.Mutex
-	var controllers []*sim.ResonanceTuning
-
-	factory := func(app workload.App, pwr *power.Model) sim.Technique {
-		c := cfg
-		c.PhantomTargetAmps = pwr.MidAmps()
-		t := sim.NewResonanceTuning(c)
-		mu.Lock()
-		controllers = append(controllers, t)
-		mu.Unlock()
-		return t
-	}
-	results, err := runSuite(opts, factory)
+	results, err := runSuite(eng, opts, engine.Spec{Technique: engine.TechniqueTuning, Tuning: &cfg})
 	if err != nil {
 		return Table3Row{}, err
 	}
 	var firstCycles, secondCycles, totalCycles uint64
-	for _, t := range controllers {
-		st := t.Stats()
-		firstCycles += st.FirstLevelCycles
-		secondCycles += st.SecondLevelCycles
-		totalCycles += st.Cycles
+	for _, r := range results {
+		firstCycles += r.Tech.FirstLevelCycles
+		secondCycles += r.Tech.SecondLevelCycles
+		totalCycles += r.Tech.ControllerCycles
 	}
 	rels, err := metrics.Compare(base, results)
 	if err != nil {

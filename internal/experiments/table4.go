@@ -3,13 +3,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/baselines/voltctl"
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/power"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Table4Row is one configuration of the technique of [10].
@@ -53,7 +51,8 @@ var paperTable4 = []struct {
 // sensors are cheap; realistic noise and delay multiply the number of
 // (mostly unnecessary) responses and the cost.
 func Table4(opts Options) (Report, error) {
-	base, err := runSuite(opts, nil)
+	eng := opts.engine()
+	base, err := runSuite(eng, opts, engine.Spec{})
 	if err != nil {
 		return Report{}, err
 	}
@@ -77,24 +76,14 @@ func Table4(opts Options) (Report, error) {
 			SensorDelayCycles:    sw.delay,
 			Seed:                 777,
 		}
-		var mu sync.Mutex
-		var ctrls []*sim.VoltageControl
-		factory := func(app workload.App, pwr *power.Model) sim.Technique {
-			t := sim.NewVoltageControl(vcfg, pwr.PhantomFireAmps())
-			mu.Lock()
-			ctrls = append(ctrls, t)
-			mu.Unlock()
-			return t
-		}
-		results, err := runSuite(opts, factory)
+		results, err := runSuite(eng, opts, engine.Spec{Technique: engine.TechniqueVoltageControl, VoltageControl: &vcfg})
 		if err != nil {
 			return Report{}, err
 		}
 		var respCycles, totalCycles uint64
-		for _, c := range ctrls {
-			st := c.Stats()
-			respCycles += st.ResponseCycles
-			totalCycles += st.Cycles
+		for _, r := range results {
+			respCycles += r.Tech.ResponseCycles
+			totalCycles += r.Tech.ControllerCycles
 		}
 		rels, err := metrics.Compare(base, results)
 		if err != nil {

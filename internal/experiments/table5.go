@@ -7,10 +7,9 @@ import (
 
 	"repro/internal/baselines/damping"
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/power"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Table5Row is one pipeline-damping configuration.
@@ -46,7 +45,8 @@ var paperTable5 = []struct {
 // cover the whole resonance band rather than just the resonant frequency
 // costs increasing performance and energy.
 func Table5(opts Options) (Report, error) {
-	base, err := runSuite(opts, nil)
+	eng := opts.engine()
+	base, err := runSuite(eng, opts, engine.Spec{})
 	if err != nil {
 		return Report{}, err
 	}
@@ -62,10 +62,7 @@ func Table5(opts Options) (Report, error) {
 			DeltaAmps:    thresholdAmps * rel,
 			Scale:        dampingScale,
 		}
-		factory := func(app workload.App, pwr *power.Model) sim.Technique {
-			return sim.NewDamping(dcfg)
-		}
-		results, err := runSuite(opts, factory)
+		results, err := runSuite(eng, opts, engine.Spec{Technique: engine.TechniqueDamping, Damping: &dcfg})
 		if err != nil {
 			return Report{}, err
 		}

@@ -125,6 +125,31 @@ type Result struct {
 	MeanAmps float64
 	MinAmps  float64
 	MaxAmps  float64
+
+	// Tech aggregates the technique controller's cycle accounting so a
+	// Result is self-contained even when replayed from a cache instead
+	// of re-simulated (the controller instance is gone by then).
+	Tech TechStats
+}
+
+// TechStats is the per-run controller accounting carried in a Result.
+// The base machine leaves it zero.
+type TechStats struct {
+	// ControllerCycles is the number of cycles the controller observed.
+	ControllerCycles uint64
+	// FirstLevelCycles and SecondLevelCycles count cycles spent in
+	// resonance tuning's two response tiers.
+	FirstLevelCycles  uint64
+	SecondLevelCycles uint64
+	// ResponseCycles counts cycles any response was active (for [10]'s
+	// voltage control and damping's constrained cycles; for tuning it
+	// is the two tiers combined).
+	ResponseCycles uint64
+}
+
+// techStatser is implemented by techniques that report TechStats.
+type techStatser interface {
+	TechStats() TechStats
 }
 
 // EnergyDelay returns the energy-delay product in joule-seconds, using
@@ -320,6 +345,9 @@ func (s *Simulator) Run(appName, techName string) Result {
 		PhantomJ:       s.phantomJ,
 		Violations:     s.violation,
 		PeakDeviationV: s.peakDev,
+	}
+	if ts, ok := s.tech.(techStatser); ok {
+		res.Tech = ts.TechStats()
 	}
 	if s.cycles > 0 {
 		res.ViolationFraction = float64(s.violation) / float64(s.cycles)

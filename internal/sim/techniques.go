@@ -41,6 +41,17 @@ func (t *ResonanceTuning) Observe(obs Observation) {
 // Stats returns the controller statistics (Table 3 columns).
 func (t *ResonanceTuning) Stats() tuning.Stats { return t.ctrl.Stats() }
 
+// TechStats implements the Result accounting hook.
+func (t *ResonanceTuning) TechStats() TechStats {
+	st := t.ctrl.Stats()
+	return TechStats{
+		ControllerCycles:  st.Cycles,
+		FirstLevelCycles:  st.FirstLevelCycles,
+		SecondLevelCycles: st.SecondLevelCycles,
+		ResponseCycles:    st.FirstLevelCycles + st.SecondLevelCycles,
+	}
+}
+
 // EventCount returns the current resonant event count (for traces).
 func (t *ResonanceTuning) EventCount() int { return t.ctrl.Detector().CountNow() }
 
@@ -84,6 +95,12 @@ func (t *VoltageControl) Observe(obs Observation) {
 
 // Stats returns the controller statistics (Table 4 columns).
 func (t *VoltageControl) Stats() voltctl.Stats { return t.ctrl.Stats() }
+
+// TechStats implements the Result accounting hook.
+func (t *VoltageControl) TechStats() TechStats {
+	st := t.ctrl.Stats()
+	return TechStats{ControllerCycles: st.Cycles, ResponseCycles: st.ResponseCycles}
+}
 
 // Level reports 1 while responding (for traces).
 func (t *VoltageControl) Level() int {
@@ -130,6 +147,12 @@ func (t *Damping) Observe(obs Observation) {
 
 // Stats returns the controller statistics (Table 5 analysis).
 func (t *Damping) Stats() damping.Stats { return t.ctrl.Stats() }
+
+// TechStats implements the Result accounting hook.
+func (t *Damping) TechStats() TechStats {
+	st := t.ctrl.Stats()
+	return TechStats{ControllerCycles: st.Cycles, ResponseCycles: st.ConstrainedCyc}
+}
 
 // ConvolutionControl adapts the convolution-prediction technique of [8]:
 // predict the supply deviation by convolving the current history with the

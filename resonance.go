@@ -41,6 +41,7 @@ import (
 	"repro/internal/baselines/voltctl"
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -107,137 +108,49 @@ func Apps() []App { return workload.Apps() }
 func AppByName(name string) (App, error) { return workload.ByName(name) }
 
 // TechniqueKind selects an inductive-noise control scheme.
-type TechniqueKind string
+type TechniqueKind = engine.TechniqueKind
 
 // Available techniques.
 const (
 	// TechniqueNone runs the uncontrolled base processor.
-	TechniqueNone TechniqueKind = "base"
+	TechniqueNone = engine.TechniqueNone
 	// TechniqueTuning is resonance tuning, the paper's contribution.
-	TechniqueTuning TechniqueKind = "tuning"
+	TechniqueTuning = engine.TechniqueTuning
 	// TechniqueVoltageControl is the voltage-threshold scheme of [10].
-	TechniqueVoltageControl TechniqueKind = "voltctl"
+	TechniqueVoltageControl = engine.TechniqueVoltageControl
 	// TechniqueDamping is pipeline damping [14].
-	TechniqueDamping TechniqueKind = "damping"
+	TechniqueDamping = engine.TechniqueDamping
 )
 
-// SimulationSpec describes one run for Simulate.
-type SimulationSpec struct {
-	// App names a Table 2 application (see Apps).
-	App string
-	// Instructions is the run length; zero means 1,000,000.
-	Instructions uint64
-	// Technique selects the control scheme; empty means TechniqueNone.
-	Technique TechniqueKind
+// SimulationSpec describes one run for Simulate. It is the engine's Spec:
+// batch drivers hand the same value to Engine.RunAll / Engine.Grid to run
+// many of them through the shared worker pool and result cache.
+type SimulationSpec = engine.Spec
 
-	// System overrides the Table 1 system when non-nil.
-	System *SimConfig
-	// Tuning overrides the paper's tuning configuration when non-nil
-	// (only used with TechniqueTuning).
-	Tuning *TuningConfig
-	// VoltageControl overrides the default [10] configuration
-	// (20 mV target, 10 mV noise, 5-cycle delay) when non-nil.
-	VoltageControl *VoltageControlConfig
-	// Damping overrides the default [14] configuration (50-cycle
-	// window, δ = 16 A) when non-nil.
-	Damping *DampingConfig
+// Engine is the shared run-execution subsystem: a bounded worker pool
+// plus a content-addressed result cache over SimulationSpecs. See
+// internal/engine for the batch APIs (Run, RunAll, Grid).
+type Engine = engine.Engine
 
-	// Trace, when non-nil, receives every cycle's waveform point.
-	Trace func(TracePoint)
+// NewEngine returns an engine bounding concurrent simulations to
+// parallelism (<= 0 means GOMAXPROCS). Drivers that share one engine
+// share its cache: identical (app, technique, config) points — baselines
+// especially — are simulated once per process.
+func NewEngine(parallelism int) *Engine {
+	return engine.New(engine.Options{Parallelism: parallelism})
 }
 
 // DefaultTuningConfig returns the paper's evaluated resonance-tuning
 // configuration (Section 5.2) with the given initial response time.
 func DefaultTuningConfig(initialResponseCycles int) TuningConfig {
-	supply := circuit.Table1()
-	lo, hi := supply.ResonanceBandCycles().HalfPeriods()
-	return TuningConfig{
-		Detector: tuning.DetectorConfig{
-			HalfPeriodLo:           lo,
-			HalfPeriodHi:           hi,
-			ThresholdAmps:          32,
-			MaxRepetitionTolerance: 4,
-		},
-		InitialResponseThreshold: 2,
-		SecondResponseThreshold:  3,
-		InitialResponseCycles:    initialResponseCycles,
-		SecondResponseCycles:     35,
-		ReducedIssueWidth:        4,
-		ReducedCachePorts:        1,
-		PhantomTargetAmps:        70,
-	}
+	return engine.DefaultTuningConfig(initialResponseCycles)
 }
 
 // Simulate runs one application under one technique on the Table 1 system
-// and returns the run summary.
+// and returns the run summary. It executes on the calling goroutine; use
+// an Engine to run batches in parallel with caching.
 func Simulate(spec SimulationSpec) (Result, error) {
-	app, err := workload.ByName(spec.App)
-	if err != nil {
-		return Result{}, err
-	}
-	insts := spec.Instructions
-	if insts == 0 {
-		insts = 1_000_000
-	}
-	cfg := sim.DefaultConfig()
-	if spec.System != nil {
-		cfg = *spec.System
-	}
-
-	// A probe provides the power model for technique defaults.
-	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
-	if err != nil {
-		return Result{}, err
-	}
-	pwr := probe.Power()
-
-	var tech sim.Technique
-	var traceCount func() int
-	var traceLevel func() int
-	switch spec.Technique {
-	case TechniqueNone, "":
-	case TechniqueTuning:
-		tc := DefaultTuningConfig(100)
-		if spec.Tuning != nil {
-			tc = *spec.Tuning
-		}
-		if tc.PhantomTargetAmps == 0 {
-			tc.PhantomTargetAmps = pwr.MidAmps()
-		}
-		rt := sim.NewResonanceTuning(tc)
-		tech = rt
-		traceCount, traceLevel = rt.EventCount, rt.Level
-	case TechniqueVoltageControl:
-		vc := voltctl.Config{TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010, SensorDelayCycles: 5, Seed: 777}
-		if spec.VoltageControl != nil {
-			vc = *spec.VoltageControl
-		}
-		v := sim.NewVoltageControl(vc, pwr.PhantomFireAmps())
-		tech = v
-		traceLevel = v.Level
-	case TechniqueDamping:
-		dc := damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: 0.5}
-		if spec.Damping != nil {
-			dc = *spec.Damping
-		}
-		tech = sim.NewDamping(dc)
-	default:
-		return Result{}, fmt.Errorf("resonance: unknown technique %q", spec.Technique)
-	}
-
-	gen := workload.NewGenerator(app.Params, insts)
-	s, err := sim.New(cfg, gen, tech)
-	if err != nil {
-		return Result{}, err
-	}
-	if spec.Trace != nil {
-		s.SetTrace(spec.Trace, traceCount, traceLevel)
-	}
-	name := string(TechniqueNone)
-	if tech != nil {
-		name = tech.Name()
-	}
-	return s.Run(spec.App, name), nil
+	return engine.Execute(spec)
 }
 
 // Experiments lists every paper table/figure runner.
