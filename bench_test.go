@@ -104,16 +104,18 @@ func BenchmarkDetectorStep(b *testing.B) {
 }
 
 // BenchmarkCoreStep measures one out-of-order pipeline cycle on a
-// steady instruction mix.
+// steady instruction mix, through the StepInto hot path the simulation
+// loop uses.
 func BenchmarkCoreStep(b *testing.B) {
 	app, err := workload.ByName("gzip")
 	if err != nil {
 		b.Fatal(err)
 	}
 	core := cpu.New(cpu.DefaultConfig(), workload.NewGenerator(app.Params, math.MaxUint64>>1))
+	var act cpu.Activity
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		core.Step(cpu.Unlimited)
+		core.StepInto(cpu.Unlimited, &act)
 	}
 }
 
@@ -127,13 +129,14 @@ func BenchmarkPowerStep(b *testing.B) {
 	act.L1D = 2
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		m.Step(act, 0)
+		m.Step(&act, 0)
 	}
 }
 
-// BenchmarkSimCycle measures one fully coupled system cycle
-// (core + power + supply + sensing + resonance tuning).
-func BenchmarkSimCycle(b *testing.B) {
+// BenchmarkStepCycle measures one fully coupled system cycle
+// (core + power + supply + sensing + resonance tuning) — the unit every
+// experiment's wall time is a multiple of.
+func BenchmarkStepCycle(b *testing.B) {
 	app, err := workload.ByName("swim")
 	if err != nil {
 		b.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 // writeFile creates the parent directory and writes the file, exiting on
@@ -41,8 +42,17 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write each report's structured data to <json>/<id>.json")
 		htmlOut  = flag.String("html", "", "also write a combined self-contained HTML report to this file")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range resonance.Experiments() {

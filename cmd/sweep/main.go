@@ -28,6 +28,7 @@ import (
 
 	"repro"
 	"repro/internal/engine"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
@@ -40,11 +41,18 @@ func main() {
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		out       = flag.String("o", "", "write CSV to this file instead of stdout")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+
 	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts}
-	var err error
 	if grid.initials, err = parseInts(*initials); err != nil {
 		fatal(fmt.Errorf("-initial: %w", err))
 	}

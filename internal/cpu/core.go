@@ -1,6 +1,9 @@
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Activity reports what the core did in one cycle. The power model turns
 // an Activity into energy and current; the techniques read the structural
@@ -30,15 +33,38 @@ const (
 	stExec                 // issued; result ready at doneAt
 )
 
+// noLink terminates the intrusive dependent/wheel lists.
+const noLink int32 = -1
+
+// robEntry is one in-flight instruction. Scheduling is event-driven: the
+// entry carries its unresolved-operand count, an intrusive list of the
+// entries waiting on its result (depHead, with per-operand next links in
+// the waiters), and a link onto the completion timing wheel.
 type robEntry struct {
-	inst   Inst
-	seq    uint64
-	state  uint8
-	doneAt uint64 // valid when state == stExec
+	inst    Inst
+	seq     uint64
+	state   uint8
+	pending uint8  // unresolved source operands
+	doneAt  uint64 // valid when state == stExec
+
+	// depHead is the first waiter on this entry's result, encoded as
+	// slot<<1|operand; depNext are this entry's own next-links, one per
+	// source operand, threading it through its producers' waiter lists.
+	depHead   int32
+	depNext   [2]int32
+	wheelNext int32 // next entry completing in the same wheel bucket
 }
 
 // Core is the cycle-level out-of-order processor model. Create one with
 // New and advance it one cycle at a time with Step.
+//
+// The scheduler separates wakeup from select like real issue logic: an
+// instruction's unresolved operands are counted once at dispatch and each
+// is resolved exactly once, when its producer's completion cycle arrives
+// on a timing wheel. Ready instructions sit in a seq-ordered bitmap that
+// issue selects from oldest-first, so per-cycle results are bit-identical
+// to a full oldest-first window rescan (the scan survives as a reference
+// implementation in the tests) at a fraction of the cost.
 type Core struct {
 	cfg Config
 	src Source
@@ -46,9 +72,25 @@ type Core struct {
 	cycle   uint64
 	seqNext uint64 // sequence number of the next dispatched instruction
 
+	// rob capacity is cfg.ROBSize rounded up to a power of two so an
+	// entry's slot is seq&robMask; occupancy is still capped at the
+	// configured ROBSize.
 	rob      []robEntry
-	head     int // index of the oldest entry
+	robMask  uint64
 	robCount int
+
+	// ready is a bitmap over ROB slots of waiting instructions whose
+	// operands have all resolved; issue iterates it in seq order.
+	ready      []uint64
+	readyCount int
+
+	// wheel buckets in-flight completions by doneAt; sized past the
+	// longest latency so buckets never alias.
+	wheel     []int32
+	wheelMask uint64
+
+	// unitCap caches Config.units per class for the select loop.
+	unitCap [NumClasses]int
 
 	fq      []Inst // fetch queue ring
 	fqHead  int
@@ -72,6 +114,11 @@ type Core struct {
 	classAmps [NumClasses]float64
 }
 
+// ceilPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func ceilPow2(n int) int {
+	return 1 << bits.Len(uint(n-1))
+}
+
 // New returns a core executing instructions from src under configuration
 // cfg. It panics if cfg is invalid, since a Config mistake is a programming
 // error, not a runtime condition.
@@ -79,12 +126,31 @@ func New(cfg Config, src Source) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("cpu.New: %v", err))
 	}
-	return &Core{
-		cfg: cfg,
-		src: src,
-		rob: make([]robEntry, cfg.ROBSize),
-		fq:  make([]Inst, cfg.FetchQueue),
+	robCap := ceilPow2(cfg.ROBSize)
+	maxLat := cfg.MemLat // Validate enforces L1Lat ≤ L2Lat ≤ MemLat
+	for _, l := range []int{cfg.IntALULat, cfg.IntMulLat, cfg.FPALULat, cfg.FPMulLat} {
+		if l > maxLat {
+			maxLat = l
+		}
 	}
+	wheelLen := ceilPow2(maxLat + 1)
+	c := &Core{
+		cfg:       cfg,
+		src:       src,
+		rob:       make([]robEntry, robCap),
+		robMask:   uint64(robCap - 1),
+		ready:     make([]uint64, (robCap+63)/64),
+		wheel:     make([]int32, wheelLen),
+		wheelMask: uint64(wheelLen - 1),
+		fq:        make([]Inst, cfg.FetchQueue),
+	}
+	for i := range c.wheel {
+		c.wheel[i] = noLink
+	}
+	for cl := Class(0); cl < NumClasses; cl++ {
+		c.unitCap[cl] = cfg.units(cl)
+	}
+	return c
 }
 
 // Config returns the core's configuration.
@@ -127,49 +193,77 @@ func (c *Core) ClassCurrentEstimates() [NumClasses]float64 { return c.classAmps 
 // are available.
 func (c *Core) oldestSeq() uint64 { return c.seqNext - uint64(c.robCount) }
 
-// ready reports whether the entry's operands are available this cycle.
-func (c *Core) ready(e *robEntry) bool {
-	return c.operandReady(e.seq, e.inst.SrcDist1) && c.operandReady(e.seq, e.inst.SrcDist2)
+func (c *Core) setReady(slot int) {
+	c.ready[slot>>6] |= 1 << uint(slot&63)
+	c.readyCount++
 }
 
-func (c *Core) operandReady(seq uint64, dist uint16) bool {
-	if dist == 0 {
-		return true
-	}
-	d := uint64(dist)
-	if d > seq { // producer predates the stream
-		return true
-	}
-	p := seq - d
-	if p < c.oldestSeq() {
-		return true // producer has retired
-	}
-	pe := &c.rob[p%uint64(c.cfg.ROBSize)]
-	return pe.state == stExec && pe.doneAt <= c.cycle
+func (c *Core) clearReady(slot int) {
+	c.ready[slot>>6] &^= 1 << uint(slot&63)
+	c.readyCount--
 }
 
 // Step simulates one clock cycle under throttle t and returns the cycle's
-// activity. Stages run in reverse pipeline order (commit, issue, dispatch,
-// fetch) so intra-cycle structural hazards resolve naturally.
+// activity. It is a convenience wrapper over StepInto.
 func (c *Core) Step(t Throttle) Activity {
 	var act Activity
+	c.StepInto(t, &act)
+	return act
+}
+
+// StepInto simulates one clock cycle under throttle t, writing the cycle's
+// activity into *act (which it resets first). Passing the Activity by
+// pointer keeps the per-cycle hot path free of large struct copies. Stages
+// run in reverse pipeline order (commit, issue, dispatch, fetch) so
+// intra-cycle structural hazards resolve naturally.
+func (c *Core) StepInto(t Throttle, act *Activity) {
+	*act = Activity{}
+	c.wake()
 	ports := t.cachePorts(c.cfg)
 	portsUsed := 0
 
-	c.commit(&act, ports, &portsUsed)
-	c.issue(&act, t, ports, &portsUsed)
-	c.dispatch(&act)
-	c.fetch(&act, t)
+	c.commit(act, ports, &portsUsed)
+	c.issue(act, &t, ports, &portsUsed)
+	c.dispatch(act)
+	c.fetch(act, t)
 
 	act.IQOccupancy = c.iqCount
 	act.ROBOccupancy = c.robCount
 	c.cycle++
-	return act
+}
+
+// wake drains this cycle's completion bucket: every instruction whose
+// result arrives now walks its waiter list, decrementing each waiter's
+// unresolved-operand count and marking it ready when the count hits zero.
+func (c *Core) wake() {
+	b := &c.wheel[c.cycle&c.wheelMask]
+	s := *b
+	if s == noLink {
+		return
+	}
+	*b = noLink
+	for s != noLink {
+		e := &c.rob[s]
+		s = e.wheelNext
+		e.wheelNext = noLink
+		tag := e.depHead
+		e.depHead = noLink
+		for tag != noLink {
+			de := &c.rob[tag>>1]
+			next := de.depNext[tag&1]
+			de.depNext[tag&1] = noLink
+			de.pending--
+			if de.pending == 0 {
+				c.setReady(int(tag >> 1))
+			}
+			tag = next
+		}
+	}
 }
 
 func (c *Core) commit(act *Activity, ports int, portsUsed *int) {
 	for act.Committed < c.cfg.CommitWidth && c.robCount > 0 {
-		e := &c.rob[c.head]
+		e := &c.rob[c.oldestSeq()&c.robMask]
 		if e.state != stExec || e.doneAt > c.cycle {
 			break
 		}
@@ -183,62 +277,91 @@ func (c *Core) commit(act *Activity, ports int, portsUsed *int) {
 		if e.inst.Class == Load || e.inst.Class == Store {
 			c.lsqCount--
 		}
-		c.head = (c.head + 1) % c.cfg.ROBSize
 		c.robCount--
 		c.committed++
 		act.Committed++
 	}
 }
 
-func (c *Core) issue(act *Activity, t Throttle, ports int, portsUsed *int) {
+// issue selects from the ready bitmap oldest-first, applying the same
+// width, unit, port, and current-budget constraints (with skip-and-retry)
+// as the reference scan.
+func (c *Core) issue(act *Activity, t *Throttle, ports int, portsUsed *int) {
+	if c.readyCount == 0 {
+		return
+	}
 	width := t.issueWidth(c.cfg)
 	if width == 0 {
 		return
 	}
 	var unitsUsed [NumClasses]int
 	budget := t.IssueCurrentBudget
-	idx := c.head
-	waitingSeen := 0
-	for scanned := 0; scanned < c.robCount && act.IssuedTotal < width && waitingSeen < c.iqCount+act.IssuedTotal; scanned++ {
-		e := &c.rob[idx]
-		idx = (idx + 1) % c.cfg.ROBSize
-		if e.state != stWaiting {
-			continue
+	budgeted := t.budgeted()
+
+	// Walk the bitmap circularly from the oldest entry's slot: slots
+	// ascend in seq order within the window, so this is oldest-first.
+	remaining := c.readyCount
+	start := int(c.oldestSeq() & c.robMask)
+	nw := len(c.ready)
+	startWord := start >> 6
+	startBit := uint(start & 63)
+	for i := 0; i <= nw; i++ {
+		wi := startWord + i
+		if wi >= nw {
+			wi -= nw
 		}
-		waitingSeen++
-		if !c.ready(e) {
-			continue
+		w := c.ready[wi]
+		if i == 0 {
+			w &= ^uint64(0) << startBit
+		} else if i == nw {
+			w &= (uint64(1) << startBit) - 1
 		}
-		cl := e.inst.Class
-		if unitsUsed[cl] >= c.cfg.units(cl) {
-			continue
-		}
-		if cl == Load && *portsUsed >= ports {
-			continue
-		}
-		if t.budgeted() {
-			cost := c.classAmps[cl]
-			if cost > budget {
+		for w != 0 {
+			slot := wi<<6 | bits.TrailingZeros64(w)
+			w &= w - 1
+			remaining--
+			e := &c.rob[slot]
+			cl := e.inst.Class
+			if unitsUsed[cl] >= c.unitCap[cl] {
 				continue
 			}
-			budget -= cost
-		}
-		unitsUsed[cl]++
-		if cl == Load {
-			*portsUsed++
-			c.countMemAccess(act, e.inst.Mem)
-		}
-		e.state = stExec
-		e.doneAt = c.cycle + uint64(c.cfg.latency(e.inst))
-		c.iqCount--
-		act.Issued[cl]++
-		act.IssuedTotal++
-		if cl == Branch {
-			act.BranchesResolved++
-			if e.inst.Mispredicted && c.blockedOnBranch && e.seq == c.blockedSeq {
-				c.blockedOnBranch = false
-				c.redirectClearAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
+			if cl == Load && *portsUsed >= ports {
+				continue
 			}
+			if budgeted {
+				cost := c.classAmps[cl]
+				if cost > budget {
+					continue
+				}
+				budget -= cost
+			}
+			unitsUsed[cl]++
+			if cl == Load {
+				*portsUsed++
+				c.countMemAccess(act, e.inst.Mem)
+			}
+			e.state = stExec
+			e.doneAt = c.cycle + uint64(c.cfg.latency(e.inst))
+			wb := &c.wheel[e.doneAt&c.wheelMask]
+			e.wheelNext = *wb
+			*wb = int32(slot)
+			c.clearReady(slot)
+			c.iqCount--
+			act.Issued[cl]++
+			act.IssuedTotal++
+			if cl == Branch {
+				act.BranchesResolved++
+				if e.inst.Mispredicted && c.blockedOnBranch && e.seq == c.blockedSeq {
+					c.blockedOnBranch = false
+					c.redirectClearAt = e.doneAt + uint64(c.cfg.MispredictPenalty)
+				}
+			}
+			if act.IssuedTotal >= width {
+				return
+			}
+		}
+		if remaining == 0 {
+			return
 		}
 	}
 }
@@ -269,24 +392,68 @@ func (c *Core) dispatch(act *Activity) {
 		if (in.Class == Load || in.Class == Store) && c.lsqCount >= c.cfg.LSQSize {
 			break
 		}
-		c.fqHead = (c.fqHead + 1) % c.cfg.FetchQueue
+		c.fqHead++
+		if c.fqHead == c.cfg.FetchQueue {
+			c.fqHead = 0
+		}
 		c.fqCount--
 
-		tail := (c.head + c.robCount) % c.cfg.ROBSize
-		c.rob[tail] = robEntry{inst: in, seq: c.seqNext, state: stWaiting}
+		seq := c.seqNext
+		slot := int(seq & c.robMask)
+		e := &c.rob[slot]
+		*e = robEntry{
+			inst:    in,
+			seq:     seq,
+			state:   stWaiting,
+			depHead: noLink,
+			depNext: [2]int32{noLink, noLink},
+		}
+		e.wheelNext = noLink
 		c.seqNext++
 		c.robCount++
 		c.iqCount++
+		pending := c.linkOperand(e, slot, 0, seq, in.SrcDist1) +
+			c.linkOperand(e, slot, 1, seq, in.SrcDist2)
+		e.pending = uint8(pending)
+		if pending == 0 {
+			c.setReady(slot)
+		}
 		if in.Class == Load || in.Class == Store {
 			c.lsqCount++
 		}
 		act.Dispatched++
 		if in.Class == Branch && in.Mispredicted {
 			c.blockedOnBranch = true
-			c.blockedSeq = c.seqNext - 1
+			c.blockedSeq = seq
 			break // nothing younger dispatches until redirect
 		}
 	}
+}
+
+// linkOperand resolves one source operand of the entry being dispatched.
+// It returns 0 if the operand is already available (no producer, producer
+// retired, or producer completed) and 1 if it is pending, in which case
+// the entry is threaded onto the producer's waiter list for wakeup at the
+// producer's completion cycle.
+func (c *Core) linkOperand(e *robEntry, slot, op int, seq uint64, dist uint16) int {
+	if dist == 0 {
+		return 0
+	}
+	d := uint64(dist)
+	if d > seq {
+		return 0 // producer predates the stream
+	}
+	p := seq - d
+	if p < c.oldestSeq() {
+		return 0 // producer has retired
+	}
+	pe := &c.rob[p&c.robMask]
+	if pe.state == stExec && pe.doneAt <= c.cycle {
+		return 0 // producer completed this cycle or earlier
+	}
+	e.depNext[op] = pe.depHead
+	pe.depHead = int32(slot<<1 | op)
+	return 1
 }
 
 func (c *Core) fetch(act *Activity, t Throttle) {
@@ -299,7 +466,10 @@ func (c *Core) fetch(act *Activity, t Throttle) {
 			c.srcDone = true
 			break
 		}
-		tail := (c.fqHead + c.fqCount) % c.cfg.FetchQueue
+		tail := c.fqHead + c.fqCount
+		if tail >= c.cfg.FetchQueue {
+			tail -= c.cfg.FetchQueue
+		}
 		c.fq[tail] = in
 		c.fqCount++
 		c.fetchedN++
@@ -314,8 +484,9 @@ func (c *Core) fetch(act *Activity, t Throttle) {
 // power coupling call Step directly.
 func (c *Core) Run(maxCycles uint64, t Throttle) uint64 {
 	start := c.cycle
+	var act Activity
 	for !c.Done() && c.cycle-start < maxCycles {
-		c.Step(t)
+		c.StepInto(t, &act)
 	}
 	return c.cycle - start
 }

@@ -1,0 +1,29 @@
+package cpu
+
+import "testing"
+
+// The paired benchmarks below run the frozen scan-based reference
+// (scanref_test.go) and the event-driven scheduler on the same repeated
+// random stream, so the scheduler rewrite's speedup stays measurable
+// apples-to-apples:
+//
+//	go test -run '^$' -bench 'ScanReference|EventScheduler' ./internal/cpu
+
+func BenchmarkScanReference(b *testing.B) {
+	stream := randomStream(7, 4096)
+	c := newScanCore(DefaultConfig(), NewRepeatSource(stream, 1<<62))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Step(Unlimited)
+	}
+}
+
+func BenchmarkEventScheduler(b *testing.B) {
+	stream := randomStream(7, 4096)
+	c := New(DefaultConfig(), NewRepeatSource(stream, 1<<62))
+	var act Activity
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.StepInto(Unlimited, &act)
+	}
+}

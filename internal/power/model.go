@@ -200,9 +200,9 @@ func New(cfg Config, cc cpu.Config) *Model {
 func (m *Model) Config() Config { return m.cfg }
 
 // events maps an Activity onto per-unit event counts, clamped to each
-// unit's capacity so malformed activity cannot exceed peak power.
-func (m *Model) events(act cpu.Activity) [NumUnits]float64 {
-	var ev [NumUnits]float64
+// unit's capacity so malformed activity cannot exceed peak power. It
+// writes into *ev to keep the per-cycle path free of array copies.
+func (m *Model) events(act *cpu.Activity, ev *[NumUnits]float64) {
 	ev[UnitFrontend] = float64(act.Fetched)
 	ev[UnitRename] = float64(act.Dispatched)
 	ev[UnitWindow] = float64(act.IssuedTotal)
@@ -221,15 +221,17 @@ func (m *Model) events(act cpu.Activity) [NumUnits]float64 {
 			ev[u] = m.maxEvents[u]
 		}
 	}
-	return ev
 }
 
 // Step accounts one core cycle of activity plus any phantom current and
-// returns the cycle's energy in joules. Phantom amps model the phantom
-// operations of the second-level response and of [10]: current that does
-// no useful work.
-func (m *Model) Step(act cpu.Activity, phantomAmps float64) float64 {
-	ev := m.events(act)
+// returns the cycle's energy in joules. The Activity is passed by pointer
+// because Step sits on the per-cycle hot path and the struct is large
+// enough to cost a bulk copy per call; Step never mutates it. Phantom
+// amps model the phantom operations of the second-level response and of
+// [10]: current that does no useful work.
+func (m *Model) Step(act *cpu.Activity, phantomAmps float64) float64 {
+	var ev [NumUnits]float64
+	m.events(act, &ev)
 	// Deposit each unit's event energy across its spread window.
 	for u := Unit(0); u < NumUnits; u++ {
 		if ev[u] == 0 {

@@ -29,7 +29,7 @@ func fullActivity(cc cpu.Config) cpu.Activity {
 func TestIdleCycleDrawsIdleCurrent(t *testing.T) {
 	m := newModel()
 	for i := 0; i < 100; i++ {
-		e := m.Step(cpu.Activity{}, 0)
+		e := m.Step(&cpu.Activity{}, 0)
 		amps := m.CurrentAmps(e)
 		if math.Abs(amps-35) > 1e-9 {
 			t.Fatalf("idle cycle %d draws %g A, want 35", i, amps)
@@ -42,7 +42,7 @@ func TestSustainedFullActivityApproachesPeak(t *testing.T) {
 	act := fullActivity(cpu.DefaultConfig())
 	var amps float64
 	for i := 0; i < 100; i++ {
-		amps = m.CurrentAmps(m.Step(act, 0))
+		amps = m.CurrentAmps(m.Step(&act, 0))
 	}
 	// With all spreads in steady state the full-capacity cycle must
 	// draw the full 105 A.
@@ -61,7 +61,7 @@ func TestCurrentBoundedByPeak(t *testing.T) {
 	act.L2 = 50
 	act.Mem = 50
 	for i := 0; i < 200; i++ {
-		amps := m.CurrentAmps(m.Step(act, 0))
+		amps := m.CurrentAmps(m.Step(&act, 0))
 		if amps > m.PeakAmps()+1e-9 {
 			t.Fatalf("cycle %d draws %g A, exceeding peak %g", i, amps, m.PeakAmps())
 		}
@@ -75,9 +75,9 @@ func TestEnergyConservedUnderSpreading(t *testing.T) {
 	burst := fullActivity(cc)
 
 	spread := New(DefaultConfig(), cc)
-	spread.Step(burst, 0)
+	spread.Step(&burst, 0)
 	for i := 0; i < spreadRing; i++ {
-		spread.Step(cpu.Activity{}, 0)
+		spread.Step(&cpu.Activity{}, 0)
 	}
 
 	cfg := DefaultConfig()
@@ -96,8 +96,8 @@ func TestSpreadingSmoothsCurrent(t *testing.T) {
 	m := newModel()
 	var act cpu.Activity
 	act.L2, act.Mem = 1, 1
-	first := m.CurrentAmps(m.Step(act, 0))
-	second := m.CurrentAmps(m.Step(cpu.Activity{}, 0))
+	first := m.CurrentAmps(m.Step(&act, 0))
+	second := m.CurrentAmps(m.Step(&cpu.Activity{}, 0))
 	if second <= m.IdleAmps() {
 		t.Error("no residual energy in the cycle after a memory access")
 	}
@@ -109,8 +109,8 @@ func TestSpreadingSmoothsCurrent(t *testing.T) {
 
 func TestPhantomAmpsAddExactly(t *testing.T) {
 	m1, m2 := newModel(), newModel()
-	e1 := m1.Step(cpu.Activity{}, 0)
-	e2 := m2.Step(cpu.Activity{}, 25)
+	e1 := m1.Step(&cpu.Activity{}, 0)
+	e2 := m2.Step(&cpu.Activity{}, 25)
 	diff := m2.CurrentAmps(e2) - m1.CurrentAmps(e1)
 	if math.Abs(diff-25) > 1e-9 {
 		t.Errorf("phantom 25 A added %g A", diff)
@@ -160,7 +160,7 @@ func TestMoreActivityMoreCurrent(t *testing.T) {
 		act.Committed = n
 		var amps float64
 		for i := 0; i < 20; i++ {
-			amps = m.CurrentAmps(m.Step(act, 0))
+			amps = m.CurrentAmps(m.Step(&act, 0))
 		}
 		if amps <= prev {
 			t.Errorf("current %g A at activity %d not above %g", amps, n, prev)
@@ -237,10 +237,10 @@ func TestBreakdownAccountsForEverything(t *testing.T) {
 	m := newModel()
 	act := fullActivity(cpu.DefaultConfig())
 	for i := 0; i < 50; i++ {
-		m.Step(act, 0)
+		m.Step(&act, 0)
 	}
 	for i := 0; i < spreadRing; i++ {
-		m.Step(cpu.Activity{}, 0) // drain the spreading ring
+		m.Step(&cpu.Activity{}, 0) // drain the spreading ring
 	}
 	floorJ, unitJ := m.Breakdown()
 	sum := floorJ

@@ -56,8 +56,10 @@ type Observation struct {
 	// IssuedEstAmps is the summed a-priori current estimate of the
 	// instructions issued this cycle (what damping accounts).
 	IssuedEstAmps float64
-	// Activity is the pipeline activity of the cycle.
-	Activity cpu.Activity
+	// Activity is the pipeline activity of the cycle. It points into a
+	// buffer the simulator reuses every cycle: read it during Observe,
+	// copy it to retain it.
+	Activity *cpu.Activity
 }
 
 // Technique is an inductive-noise control scheme plugged into the loop.
@@ -178,6 +180,7 @@ type Simulator struct {
 
 	classAmps [cpu.NumClasses]float64
 	phantomJ  float64
+	act       cpu.Activity // per-cycle activity buffer, reused to avoid copies
 
 	trace     func(TracePoint)
 	countFn   func() int // technique's event count for tracing
@@ -263,7 +266,8 @@ func (s *Simulator) StepCycle() {
 	if s.tech != nil {
 		throttle, ph = s.tech.Next()
 	}
-	act := s.core.Step(throttle)
+	act := &s.act
+	s.core.StepInto(throttle, act)
 	coreJ := s.pwr.Step(act, 0)
 	coreAmps := s.pwr.CurrentAmps(coreJ)
 

@@ -93,23 +93,39 @@ type Event struct {
 	Count int
 }
 
+// adder is one precomputed half-period comparator: the quarter-period
+// window it sums over and its threshold M·T/8 (with T = 2·hp).
+type adder struct {
+	qp  uint64
+	thr float64
+}
+
 // Detector implements Section 3.1. Feed it one sensed current sample per
 // cycle with Step.
+//
+// Both internal rings are sized to powers of two so every per-cycle index
+// is a mask, not a division: the adder loop runs with no integer division
+// or modulo at all, and each adder costs three loads and three
+// subtractions. Window sums still come from the same cumulative-sum
+// differences as before, so detected events are bit-identical to the
+// modulo-indexed implementation (see detector_equivalence_test.go).
 type Detector struct {
-	cfg DetectorConfig
+	cfg    DetectorConfig
+	adders []adder
 
-	// cum is a ring of cumulative current sums; cum[c mod len] holds
+	// cum is a ring of cumulative current sums; cum[c&cumMask] holds
 	// the total current through cycle c, letting any window sum be
 	// formed with one subtraction per half-period "adder".
-	cum    []float64
-	total  float64
-	cycle  uint64
-	warmup int
+	cum     []float64
+	cumMask uint64
+	total   float64
+	cycle   uint64
+	warmup  int
 
 	// Polarity history shift registers (Section 3.1.2), one bit per
 	// cycle, long enough to cover the maximum repetition tolerance,
 	// plus the chained count memo for each recorded event cycle.
-	histLen  int
+	histMask uint64
 	highLow  []bool
 	lowHigh  []bool
 	countAt  []uint16
@@ -120,21 +136,39 @@ type Detector struct {
 	eventsDetected uint64
 }
 
+// ceilPow2 returns the smallest power of two ≥ n (n ≥ 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // NewDetector returns a detector for the given configuration. It panics
 // if the configuration is invalid (a design-time error).
 func NewDetector(cfg DetectorConfig) *Detector {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("tuning.NewDetector: %v", err))
 	}
-	ringLen := 2*cfg.HalfPeriodHi + 2
-	histLen := cfg.MaxRepetitionTolerance*2*cfg.HalfPeriodHi + 1
+	ringLen := ceilPow2(2*cfg.HalfPeriodHi + 2)
+	histLen := ceilPow2(cfg.MaxRepetitionTolerance*2*cfg.HalfPeriodHi + 1)
+	adders := make([]adder, 0, cfg.HalfPeriodHi-cfg.HalfPeriodLo+1)
+	for hp := cfg.HalfPeriodLo; hp <= cfg.HalfPeriodHi; hp++ {
+		adders = append(adders, adder{
+			qp:  uint64(hp / 2),
+			thr: cfg.ThresholdAmps * float64(hp) / 4,
+		})
+	}
 	return &Detector{
-		cfg:     cfg,
-		cum:     make([]float64, ringLen),
-		histLen: histLen,
-		highLow: make([]bool, histLen),
-		lowHigh: make([]bool, histLen),
-		countAt: make([]uint16, histLen),
+		cfg:      cfg,
+		adders:   adders,
+		cum:      make([]float64, ringLen),
+		cumMask:  uint64(ringLen - 1),
+		histMask: uint64(histLen - 1),
+		highLow:  make([]bool, histLen),
+		lowHigh:  make([]bool, histLen),
+		countAt:  make([]uint16, histLen),
 	}
 }
 
@@ -145,12 +179,15 @@ func (d *Detector) Config() DetectorConfig { return d.cfg }
 func (d *Detector) EventsDetected() uint64 { return d.eventsDetected }
 
 // windowDiff returns recent-quarter sum minus prior-quarter sum for the
-// given quarter-period length at the current cycle.
-func (d *Detector) windowDiff(qp int) float64 {
-	n := len(d.cum)
-	c := int(d.cycle % uint64(n))
-	recent := d.cum[c] - d.cum[((c-qp)%n+n)%n]
-	prior := d.cum[((c-qp)%n+n)%n] - d.cum[((c-2*qp)%n+n)%n]
+// given quarter-period length at the current cycle. The subtraction order
+// matches the original modulo-indexed implementation exactly, so the
+// floating-point results are bit-identical.
+func (d *Detector) windowDiff(qp uint64) float64 {
+	m := d.cumMask
+	c := d.cycle
+	mid := d.cum[(c-qp)&m]
+	recent := d.cum[c&m] - mid
+	prior := mid - d.cum[(c-2*qp)&m]
 	return recent - prior
 }
 
@@ -158,10 +195,10 @@ func (d *Detector) windowDiff(qp int) float64 {
 // the resonant event recorded this cycle, if any.
 func (d *Detector) Step(sensedAmps float64) (Event, bool) {
 	d.total += sensedAmps
-	d.cum[d.cycle%uint64(len(d.cum))] = d.total
+	d.cum[d.cycle&d.cumMask] = d.total
 
 	// Clear the history slots being reused this cycle.
-	slot := int(d.cycle % uint64(d.histLen))
+	slot := d.cycle & d.histMask
 	d.highLow[slot] = false
 	d.lowHigh[slot] = false
 	d.countAt[slot] = 0
@@ -175,17 +212,17 @@ func (d *Detector) Step(sensedAmps float64) (Event, bool) {
 	if d.warmup < 2*d.cfg.HalfPeriodHi {
 		d.warmup++
 	} else {
-		// One "adder" per half-period in the band (Section 3.1.3).
-		for hp := d.cfg.HalfPeriodLo; hp <= d.cfg.HalfPeriodHi; hp++ {
-			qp := hp / 2
-			diff := d.windowDiff(qp)
-			// Half-period threshold M·T/8 with T = 2·hp.
-			thr := d.cfg.ThresholdAmps * float64(hp) / 4
+		// One "adder" per half-period in the band (Section 3.1.3), each
+		// with a precomputed quarter-period and threshold M·T/8
+		// (T = 2·hp).
+		for i := range d.adders {
+			a := &d.adders[i]
+			diff := d.windowDiff(a.qp)
 			mag := diff
 			if mag < 0 {
 				mag = -mag
 			}
-			if mag <= thr || mag <= maxMag {
+			if mag <= a.thr || mag <= maxMag {
 				continue
 			}
 			maxMag = mag
@@ -210,7 +247,7 @@ func (d *Detector) Step(sensedAmps float64) (Event, bool) {
 // record notes an event of the given polarity at the current cycle and
 // computes its chained resonant event count.
 func (d *Detector) record(pol Polarity) Event {
-	slot := int(d.cycle % uint64(d.histLen))
+	slot := d.cycle & d.histMask
 	count := 1
 
 	// Dedup: a same-polarity event in the immediately preceding cycle
@@ -220,7 +257,7 @@ func (d *Detector) record(pol Polarity) Event {
 	// previous cycle had an event of this polarity.
 	inherited := false
 	if d.lastSeen[pol] == d.cycle {
-		prevSlot := int((d.cycle - 1) % uint64(d.histLen))
+		prevSlot := (d.cycle - 1) & d.histMask
 		if d.polarityBit(pol, prevSlot) && d.countAt[prevSlot] > 0 {
 			count = int(d.countAt[prevSlot])
 			inherited = true
@@ -239,7 +276,7 @@ func (d *Detector) record(pol Polarity) Event {
 			if uint64(hp) > d.cycle {
 				break
 			}
-			back := int((d.cycle - uint64(hp)) % uint64(d.histLen))
+			back := (d.cycle - uint64(hp)) & d.histMask
 			if d.polarityBit(opposite, back) && int(d.countAt[back]) > best {
 				best = int(d.countAt[back])
 			}
@@ -260,7 +297,7 @@ func (d *Detector) record(pol Polarity) Event {
 	return Event{Cycle: d.cycle, Polarity: pol, Count: count}
 }
 
-func (d *Detector) polarityBit(pol Polarity, slot int) bool {
+func (d *Detector) polarityBit(pol Polarity, slot uint64) bool {
 	if pol == HighLow {
 		return d.highLow[slot]
 	}

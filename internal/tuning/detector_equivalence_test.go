@@ -1,0 +1,203 @@
+package tuning
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+)
+
+// refDetector is the original modulo-indexed detector, frozen as a
+// test-only reference. The shipping Detector replaced every per-cycle
+// `%` with power-of-two mask indexing and precomputed the per-adder
+// quarter-periods and thresholds; TestDetectorMatchesModuloReference
+// checks the two report bit-identical event streams.
+type refDetector struct {
+	cfg DetectorConfig
+
+	cum    []float64
+	total  float64
+	cycle  uint64
+	warmup int
+
+	histLen  int
+	highLow  []bool
+	lowHigh  []bool
+	countAt  []uint16
+	lastSeen [2]uint64
+
+	eventsDetected uint64
+}
+
+func newRefDetector(cfg DetectorConfig) *refDetector {
+	ringLen := 2*cfg.HalfPeriodHi + 2
+	histLen := cfg.MaxRepetitionTolerance*2*cfg.HalfPeriodHi + 1
+	return &refDetector{
+		cfg:     cfg,
+		cum:     make([]float64, ringLen),
+		histLen: histLen,
+		highLow: make([]bool, histLen),
+		lowHigh: make([]bool, histLen),
+		countAt: make([]uint16, histLen),
+	}
+}
+
+func (d *refDetector) windowDiff(qp int) float64 {
+	n := len(d.cum)
+	c := int(d.cycle % uint64(n))
+	recent := d.cum[c] - d.cum[((c-qp)%n+n)%n]
+	prior := d.cum[((c-qp)%n+n)%n] - d.cum[((c-2*qp)%n+n)%n]
+	return recent - prior
+}
+
+func (d *refDetector) Step(sensedAmps float64) (Event, bool) {
+	d.total += sensedAmps
+	d.cum[d.cycle%uint64(len(d.cum))] = d.total
+
+	slot := int(d.cycle % uint64(d.histLen))
+	d.highLow[slot] = false
+	d.lowHigh[slot] = false
+	d.countAt[slot] = 0
+
+	var (
+		found    bool
+		pol      Polarity
+		maxMag   float64
+		detected Event
+	)
+	if d.warmup < 2*d.cfg.HalfPeriodHi {
+		d.warmup++
+	} else {
+		for hp := d.cfg.HalfPeriodLo; hp <= d.cfg.HalfPeriodHi; hp++ {
+			qp := hp / 2
+			diff := d.windowDiff(qp)
+			thr := d.cfg.ThresholdAmps * float64(hp) / 4
+			mag := diff
+			if mag < 0 {
+				mag = -mag
+			}
+			if mag <= thr || mag <= maxMag {
+				continue
+			}
+			maxMag = mag
+			found = true
+			if diff < 0 {
+				pol = HighLow
+			} else {
+				pol = LowHigh
+			}
+		}
+	}
+	if found {
+		detected = d.record(pol)
+		d.eventsDetected++
+	}
+	d.cycle++
+	return detected, found
+}
+
+func (d *refDetector) record(pol Polarity) Event {
+	slot := int(d.cycle % uint64(d.histLen))
+	count := 1
+
+	inherited := false
+	if d.lastSeen[pol] == d.cycle {
+		prevSlot := int((d.cycle - 1) % uint64(d.histLen))
+		if d.polarityBit(pol, prevSlot) && d.countAt[prevSlot] > 0 {
+			count = int(d.countAt[prevSlot])
+			inherited = true
+		}
+	}
+	if !inherited {
+		opposite := LowHigh
+		if pol == LowHigh {
+			opposite = HighLow
+		}
+		best := 0
+		for hp := d.cfg.HalfPeriodLo; hp <= d.cfg.HalfPeriodHi; hp++ {
+			if uint64(hp) > d.cycle {
+				break
+			}
+			back := int((d.cycle - uint64(hp)) % uint64(d.histLen))
+			if d.polarityBit(opposite, back) && int(d.countAt[back]) > best {
+				best = int(d.countAt[back])
+			}
+		}
+		count = best + 1
+	}
+	if count > d.cfg.MaxRepetitionTolerance+1 {
+		count = d.cfg.MaxRepetitionTolerance + 1
+	}
+
+	if pol == HighLow {
+		d.highLow[slot] = true
+	} else {
+		d.lowHigh[slot] = true
+	}
+	d.countAt[slot] = uint16(count)
+	d.lastSeen[pol] = d.cycle + 1
+	return Event{Cycle: d.cycle, Polarity: pol, Count: count}
+}
+
+func (d *refDetector) polarityBit(pol Polarity, slot int) bool {
+	if pol == HighLow {
+		return d.highLow[slot]
+	}
+	return d.lowHigh[slot]
+}
+
+// equivalenceConfigs spans band shapes: the Table 1 band, a narrow band,
+// an odd non-power-of-two-unfriendly band, and a high repetition
+// tolerance (deep history ring).
+func equivalenceConfigs() []DetectorConfig {
+	return []DetectorConfig{
+		{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 32, MaxRepetitionTolerance: 4},
+		{HalfPeriodLo: 5, HalfPeriodHi: 7, ThresholdAmps: 8, MaxRepetitionTolerance: 2},
+		{HalfPeriodLo: 13, HalfPeriodHi: 31, ThresholdAmps: 12, MaxRepetitionTolerance: 3},
+		{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 20, MaxRepetitionTolerance: 9},
+	}
+}
+
+// TestDetectorMatchesModuloReference: the mask-indexed detector must
+// report bit-identical events to the modulo-indexed reference on
+// resonant squares, swept periods, and random current streams.
+func TestDetectorMatchesModuloReference(t *testing.T) {
+	for ci, cfg := range equivalenceConfigs() {
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			streams := map[string]func(c int) float64{
+				"resonant-square": func(c int) float64 {
+					w := circuit.Square{Mid: 70, Amplitude: 35, PeriodCycles: 2 * (cfg.HalfPeriodLo + cfg.HalfPeriodHi) / 2}
+					return w.At(c)
+				},
+				"swept-sine": func(c int) float64 {
+					period := float64(cfg.HalfPeriodLo+c/500) * 2
+					return 70 + 35*math.Sin(2*math.Pi*float64(c)/period)
+				},
+				"random": func() func(c int) float64 {
+					r := rng.New(uint64(1000 + ci))
+					return func(int) float64 { return 35 + 70*r.Float64() }
+				}(),
+				"quiet": func(c int) float64 { return 70 },
+			}
+			for name, at := range streams {
+				d := NewDetector(cfg)
+				ref := newRefDetector(cfg)
+				for c := 0; c < 20_000; c++ {
+					s := at(c)
+					gotEv, gotOK := d.Step(s)
+					wantEv, wantOK := ref.Step(s)
+					if gotOK != wantOK || gotEv != wantEv {
+						t.Fatalf("%s cycle %d: events diverged: got (%+v,%v), want (%+v,%v)",
+							name, c, gotEv, gotOK, wantEv, wantOK)
+					}
+				}
+				if d.EventsDetected() != ref.eventsDetected {
+					t.Fatalf("%s: event totals diverged: %d vs %d",
+						name, d.EventsDetected(), ref.eventsDetected)
+				}
+			}
+		})
+	}
+}

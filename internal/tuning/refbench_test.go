@@ -1,0 +1,33 @@
+package tuning
+
+import "testing"
+
+// The paired benchmarks below run the frozen modulo-indexed reference
+// (detector_equivalence_test.go) and the prefix-sum detector on the same
+// square wave, so the O(1)-adder rewrite's speedup stays measurable
+// apples-to-apples:
+//
+//	go test -run '^$' -bench 'ModuloReference|PrefixSumDetector' ./internal/tuning
+
+func benchWave(i int) float64 {
+	if i%100 < 50 {
+		return 110
+	}
+	return 30
+}
+
+func BenchmarkModuloReference(b *testing.B) {
+	d := newRefDetector(DetectorConfig{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 32, MaxRepetitionTolerance: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Step(benchWave(i))
+	}
+}
+
+func BenchmarkPrefixSumDetector(b *testing.B) {
+	d := NewDetector(DetectorConfig{HalfPeriodLo: 42, HalfPeriodHi: 60, ThresholdAmps: 32, MaxRepetitionTolerance: 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Step(benchWave(i))
+	}
+}
