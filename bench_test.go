@@ -53,8 +53,40 @@ func BenchmarkFig4Parser(b *testing.B) {
 // BenchmarkTable2Classification regenerates Table 2.
 func BenchmarkTable2Classification(b *testing.B) { benchExperiment(b, "table2") }
 
-// BenchmarkTable3ResonanceTuning regenerates Table 3.
+// BenchmarkTable3ResonanceTuning regenerates Table 3. Each iteration
+// uses a fresh private engine (results honestly re-simulated); the
+// process-wide trace store still amortizes workload materialization, as
+// it does across real invocations.
 func BenchmarkTable3ResonanceTuning(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable3WarmDiskCache regenerates Table 3 against a warm disk
+// cache: each iteration runs a fresh engine (cold memory tier) whose
+// every spec is served from the persistent tier without simulating —
+// the cost of a repeated CI golden run or sweep invocation.
+func BenchmarkTable3WarmDiskCache(b *testing.B) {
+	dir := b.TempDir()
+	warm := func() *Engine {
+		return NewEngineWithOptions(EngineOptions{DiskCacheDir: dir})
+	}
+	opts := Options{Instructions: benchOpts.Instructions, Engine: warm()}
+	if _, err := RunExperiment("table3", opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := warm()
+		rep, err := RunExperiment("table3", Options{Instructions: benchOpts.Instructions, Engine: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Text == "" {
+			b.Fatal("empty report")
+		}
+		if st := eng.CacheStats(); st.Misses != 0 {
+			b.Fatalf("warm pass simulated %d specs, want 0", st.Misses)
+		}
+	}
+}
 
 // BenchmarkTable4VoltageControl regenerates Table 4.
 func BenchmarkTable4VoltageControl(b *testing.B) { benchExperiment(b, "table4") }
@@ -103,15 +135,31 @@ func BenchmarkDetectorStep(b *testing.B) {
 	}
 }
 
+// cyclingTrace replays a materialized trace endlessly, so open-ended
+// benchmarks can draw unbounded instructions from a bounded trace.
+type cyclingTrace struct{ src *cpu.TraceSource }
+
+func (c cyclingTrace) Next() (cpu.Inst, bool) {
+	in, ok := c.src.Next()
+	if !ok {
+		c.src.Reset()
+		in, ok = c.src.Next()
+	}
+	return in, ok
+}
+
 // BenchmarkCoreStep measures one out-of-order pipeline cycle on a
 // steady instruction mix, through the StepInto hot path the simulation
-// loop uses.
+// loop uses. The core is fed from a materialized trace, as it is in
+// engine runs, so the measurement is the pipeline itself rather than
+// pipeline plus stream generation.
 func BenchmarkCoreStep(b *testing.B) {
 	app, err := workload.ByName("gzip")
 	if err != nil {
 		b.Fatal(err)
 	}
-	core := cpu.New(cpu.DefaultConfig(), workload.NewGenerator(app.Params, math.MaxUint64>>1))
+	src := cyclingTrace{workload.Materialize(app.Params, 1<<20).Source()}
+	core := cpu.New(cpu.DefaultConfig(), src)
 	var act cpu.Activity
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -164,8 +212,9 @@ func BenchmarkCalibration(b *testing.B) {
 	}
 }
 
-// BenchmarkWorkloadGen measures instruction-stream generation.
-func BenchmarkWorkloadGen(b *testing.B) {
+// BenchmarkGeneratorNext measures live instruction-stream generation —
+// the per-instruction cost the trace store pays once per application.
+func BenchmarkGeneratorNext(b *testing.B) {
 	app, err := workload.ByName("parser")
 	if err != nil {
 		b.Fatal(err)
@@ -174,6 +223,22 @@ func BenchmarkWorkloadGen(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, ok := g.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}
+
+// BenchmarkTraceSourceNext measures replay of a materialized trace —
+// the per-instruction cost every run after the first pays instead.
+func BenchmarkTraceSourceNext(b *testing.B) {
+	app, err := workload.ByName("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := cyclingTrace{workload.Materialize(app.Params, 1<<20).Source()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := src.Next(); !ok {
 			b.Fatal("stream ended")
 		}
 	}

@@ -37,6 +37,8 @@ func main() {
 	var (
 		insts    = flag.Uint64("insts", 0, "instructions per application (0 = 1,000,000)")
 		parallel = flag.Int("parallel", 0, "concurrent application runs (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persistent result-cache directory (warm runs replay finished results without simulating)")
+		traceMB  = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
 		out      = flag.String("out", "", "also write each report to <out>/<id>.txt")
 		svg      = flag.String("svg", "", "also render figures as SVG into this directory")
 		jsonOut  = flag.String("json", "", "also write each report's structured data to <json>/<id>.json")
@@ -76,8 +78,16 @@ func main() {
 	// One engine for the whole invocation: experiments share its worker
 	// pool and result cache, so e.g. the 26-app baseline suite simulates
 	// once even when table2, table3, table4, table5, and fig5 all ask
-	// for it.
-	eng := resonance.NewEngine(*parallel)
+	// for it. With -cache-dir, finished results also persist across
+	// invocations: a warm second run replays them from disk without
+	// simulating.
+	if *traceMB != 0 {
+		resonance.SetTraceStoreBudget(*traceMB << 20)
+	}
+	eng := resonance.NewEngineWithOptions(resonance.EngineOptions{
+		Parallelism:  *parallel,
+		DiskCacheDir: *cacheDir,
+	})
 	opts := resonance.Options{Instructions: *insts, Parallelism: *parallel, Engine: eng}
 	var reports []resonance.Report
 	for _, id := range ids {
@@ -110,4 +120,16 @@ func main() {
 		writeFile(*htmlOut, []byte(resonance.HTMLReport(reports)))
 		fmt.Printf("combined report written to %s\n", *htmlOut)
 	}
+	printRunStats(eng)
+}
+
+// printRunStats emits the end-of-run cache and trace-store counters in a
+// stable, greppable form (CI asserts sim_misses=0 on a warm cache pass).
+func printRunStats(eng *resonance.Engine) {
+	cs := eng.CacheStats()
+	ts := resonance.TraceStoreStats()
+	fmt.Printf("cache-stats: mem_hits=%d disk_hits=%d sim_misses=%d disk_writes=%d entries=%d\n",
+		cs.Hits, cs.DiskHits, cs.Misses, cs.DiskWrites, cs.Entries)
+	fmt.Printf("trace-stats: built=%d reused=%d bypassed=%d evicted=%d resident_mb=%.1f\n",
+		ts.Builds, ts.Hits, ts.Bypasses, ts.Evictions, float64(ts.Bytes)/(1<<20))
 }

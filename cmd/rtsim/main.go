@@ -29,9 +29,12 @@ func main() {
 		trace   = flag.String("trace", "", "write per-cycle CSV trace to this file")
 		record  = flag.String("record", "", "record the instruction stream to this file and exit")
 		replay  = flag.String("replay", "", "replay a recorded instruction stream instead of -app")
-		spect   = flag.Bool("spectrum", false, "analyse the run's current spectrum against the resonance band")
-		energy  = flag.Bool("energy", false, "print the per-unit energy breakdown")
-		list    = flag.Bool("list", false, "list applications and exit")
+		spect    = flag.Bool("spectrum", false, "analyse the run's current spectrum against the resonance band")
+		energy   = flag.Bool("energy", false, "print the per-unit energy breakdown")
+		cacheDir = flag.String("cache-dir", "", "persistent result-cache directory (a warm re-run replays the finished result without simulating)")
+		traceMB  = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
+		stats    = flag.Bool("cache-stats", false, "print cache and trace-store counters after the run")
+		list     = flag.Bool("list", false, "list applications and exit")
 	)
 	flag.Parse()
 
@@ -126,9 +129,16 @@ func main() {
 		res resonance.Result
 		err error
 	}
+	if *traceMB != 0 {
+		resonance.SetTraceStoreBudget(*traceMB << 20)
+	}
+	eng := resonance.NewEngineWithOptions(resonance.EngineOptions{
+		Parallelism:  1,
+		DiskCacheDir: *cacheDir,
+	})
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := resonance.NewEngine(1).Run(ctx, spec)
+		res, err := eng.Run(ctx, spec)
 		ch <- outcome{res, err}
 	}()
 	var res resonance.Result
@@ -170,6 +180,14 @@ func main() {
 		for _, row := range bd {
 			fmt.Printf("  %-10s %8.4g J  (%.1f%%)\n", row.Unit, row.Joules, row.Percent)
 		}
+	}
+	if *stats {
+		cs := eng.CacheStats()
+		ts := resonance.TraceStoreStats()
+		fmt.Printf("cache-stats: mem_hits=%d disk_hits=%d sim_misses=%d disk_writes=%d entries=%d\n",
+			cs.Hits, cs.DiskHits, cs.Misses, cs.DiskWrites, cs.Entries)
+		fmt.Printf("trace-stats: built=%d reused=%d bypassed=%d evicted=%d resident_mb=%.1f\n",
+			ts.Builds, ts.Hits, ts.Bypasses, ts.Evictions, float64(ts.Bytes)/(1<<20))
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/profiling"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		thresh    = flag.String("threshold", "1,2", "initial response thresholds (event count)")
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache-dir", "", "persistent result-cache directory (warm re-sweeps replay finished points without simulating)")
+		traceMB   = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
 		out       = flag.String("o", "", "write CSV to this file instead of stdout")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -73,10 +76,19 @@ func main() {
 		w = f
 	}
 
-	eng := engine.New(engine.Options{Parallelism: *parallel})
+	if *traceMB != 0 {
+		workload.SharedTraces().SetBudget(*traceMB << 20)
+	}
+	eng := engine.New(engine.Options{Parallelism: *parallel, DiskCacheDir: *cacheDir})
 	if err := runSweep(context.Background(), eng, grid, w); err != nil {
 		fatal(err)
 	}
+	cs := eng.CacheStats()
+	ts := workload.SharedTraces().Stats()
+	fmt.Fprintf(os.Stderr, "cache-stats: mem_hits=%d disk_hits=%d sim_misses=%d disk_writes=%d entries=%d\n",
+		cs.Hits, cs.DiskHits, cs.Misses, cs.DiskWrites, cs.Entries)
+	fmt.Fprintf(os.Stderr, "trace-stats: built=%d reused=%d bypassed=%d evicted=%d resident_mb=%.1f\n",
+		ts.Builds, ts.Hits, ts.Bypasses, ts.Evictions, float64(ts.Bytes)/(1<<20))
 }
 
 // sweepGrid is the cross product the sweep explores.

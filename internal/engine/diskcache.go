@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// diskCacheVersion guards the on-disk entry schema: bumping it after a
+// Result field change makes every old entry stale, so it is ignored and
+// rewritten instead of silently decoding into the wrong shape.
+const diskCacheVersion = 1
+
+// diskEntry is the JSON envelope of one cached result. JSON float64
+// encoding is shortest-round-trip, so a reloaded Result is bit-identical
+// to the simulated one (pinned by TestDiskCacheRoundTrip).
+type diskEntry struct {
+	Version int        `json:"v"`
+	Result  sim.Result `json:"result"`
+}
+
+// diskCache is the engine's persistent second cache tier: one JSON file
+// per Spec.Key under a directory, so a later process (a warm CI golden
+// run, a repeated sweep) serves finished Results without simulating.
+// All operations are best-effort — a missing, corrupt, or stale entry is
+// a miss, and write failures are invisible to correctness (the result
+// was computed anyway).
+type diskCache struct {
+	dir string
+}
+
+// path places an entry by full content hash; two distinct specs can
+// never collide on a file.
+func (d *diskCache) path(key Key) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%x.json", key[:]))
+}
+
+// load returns the cached result for key, or ok=false when the entry is
+// absent, corrupt, or from a different schema version.
+func (d *diskCache) load(key Key) (sim.Result, bool) {
+	blob, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var en diskEntry
+	if err := json.Unmarshal(blob, &en); err != nil || en.Version != diskCacheVersion {
+		return sim.Result{}, false
+	}
+	return en.Result, true
+}
+
+// store writes the entry atomically: a unique temp file in the same
+// directory, then rename, so a concurrent reader (or a killed process)
+// sees either the complete entry or none, never a torn one. It reports
+// whether the entry landed.
+func (d *diskCache) store(key Key, res sim.Result) bool {
+	blob, err := json.Marshal(diskEntry{Version: diskCacheVersion, Result: res})
+	if err != nil {
+		return false
+	}
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return false
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}

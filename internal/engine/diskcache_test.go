@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func diskSpecs() []Spec {
+	return []Spec{
+		{App: "swim", Instructions: 20_000},
+		{App: "swim", Instructions: 20_000, Technique: TechniqueTuning},
+		{App: "parser", Instructions: 20_000, Technique: TechniqueDamping},
+	}
+}
+
+// TestDiskCacheRoundTrip: a fresh engine pointed at a warm cache
+// directory serves bit-identical results without simulating anything.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specs := diskSpecs()
+
+	cold := New(Options{DiskCacheDir: dir})
+	want, err := cold.RunAll(context.Background(), specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.Misses != uint64(len(specs)) || st.DiskWrites != uint64(len(specs)) || st.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v, want %d misses and writes, 0 disk hits", st, len(specs))
+	}
+
+	warm := New(Options{DiskCacheDir: dir})
+	got, err := warm.RunAll(context.Background(), specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.CacheStats()
+	if st.Misses != 0 {
+		t.Errorf("warm engine simulated %d specs, want 0", st.Misses)
+	}
+	if st.DiskHits != uint64(len(specs)) {
+		t.Errorf("warm engine disk hits = %d, want %d", st.DiskHits, len(specs))
+	}
+	for i := range specs {
+		if want[i] != got[i] {
+			t.Errorf("spec %d: disk round trip diverged:\n%+v\n%+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestDiskCacheCorruptEntryTolerated: a truncated or garbage entry is a
+// miss — the spec re-simulates, returns the correct result, and the
+// entry is rewritten valid.
+func TestDiskCacheCorruptEntryTolerated(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{App: "swim", Instructions: 20_000}
+	want, err := New(Options{DiskCacheDir: dir}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache dir holds %d entries (%v), want 1", len(files), err)
+	}
+	for _, garbage := range []string{"", "{\"v\":999,\"result\":{}}", "not json at all"} {
+		if err := os.WriteFile(files[0], []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e := New(Options{DiskCacheDir: dir})
+		got, err := e.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("result after corrupt entry %q diverged:\n%+v\n%+v", garbage, want, got)
+		}
+		if st := e.CacheStats(); st.Misses != 1 || st.DiskHits != 0 || st.DiskWrites != 1 {
+			t.Errorf("corrupt entry %q: stats = %+v, want a re-simulation and a rewrite", garbage, st)
+		}
+		// The rewritten entry must now serve a fresh engine from disk.
+		e2 := New(Options{DiskCacheDir: dir})
+		if _, err := e2.Run(context.Background(), spec); err != nil {
+			t.Fatal(err)
+		}
+		if st := e2.CacheStats(); st.DiskHits != 1 {
+			t.Errorf("rewritten entry not served from disk: %+v", st)
+		}
+	}
+}
+
+// TestDiskCacheIgnoresErrors: failed simulations are never persisted,
+// and an unwritable directory degrades to simulate-every-time rather
+// than failing runs.
+func TestDiskCacheIgnoresErrors(t *testing.T) {
+	dir := t.TempDir()
+	e := New(Options{DiskCacheDir: dir})
+	if _, err := e.Run(context.Background(), Spec{App: "no-such-app"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Errorf("failed run persisted to disk: %v", files)
+	}
+
+	// A file where the cache dir should be: stores fail, runs succeed.
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Options{DiskCacheDir: blocked})
+	if _, err := e2.Run(context.Background(), Spec{App: "swim", Instructions: 10_000}); err != nil {
+		t.Fatalf("unwritable cache dir broke the run: %v", err)
+	}
+	if st := e2.CacheStats(); st.DiskWrites != 0 || st.Misses != 1 {
+		t.Errorf("stats with unwritable dir = %+v, want 1 miss, 0 writes", st)
+	}
+}
+
+// TestErroredEntryEvicted: a failed simulation does not poison the
+// memory tier — the entry count stays at zero and a retry of the same
+// spec simulates again.
+func TestErroredEntryEvicted(t *testing.T) {
+	e := New(Options{})
+	// An unknown app passes Key() (normalization doesn't resolve apps)
+	// but fails in Execute — the interesting path for entry eviction.
+	bad := Spec{App: "no-such-app"}
+	for i := 1; i <= 2; i++ {
+		if _, err := e.Run(context.Background(), bad); err == nil {
+			t.Fatal("invalid spec accepted")
+		}
+		st := e.CacheStats()
+		if st.Entries != 0 {
+			t.Fatalf("attempt %d: errored entry retained (%d entries)", i, st.Entries)
+		}
+		if st.Misses != uint64(i) {
+			t.Fatalf("attempt %d: misses = %d, want %d (each retry must re-execute)", i, st.Misses, st.Misses)
+		}
+	}
+}

@@ -18,23 +18,36 @@ type Options struct {
 	// DisableCache makes every run simulate afresh (used by benchmarks
 	// and equivalence tests; results are identical either way).
 	DisableCache bool
+	// DiskCacheDir, when non-empty, adds a persistent second cache tier:
+	// finished Results are written there as one JSON file per Spec.Key
+	// (atomic renames), and later engines — including later processes —
+	// serve matching specs from disk without simulating. Corrupt or
+	// stale entries are ignored and rewritten. Because keys are content
+	// addresses of the full normalized Spec, sharing a directory across
+	// configurations is safe.
+	DiskCacheDir string
 }
 
 // Engine executes Specs through a bounded worker pool and memoizes their
-// Results in a content-addressed cache keyed by Spec.Key. An Engine is
-// safe for concurrent use; sharing one engine across drivers (e.g. every
-// experiment of a cmd/experiments invocation) shares both the pool and
-// the cache, so the 26-app base suite is simulated once per process, not
-// once per table.
+// Results in a two-tier content-addressed cache keyed by Spec.Key: an
+// in-memory map shared by everything in the process, and an optional
+// on-disk tier shared across processes. An Engine is safe for concurrent
+// use; sharing one engine across drivers (e.g. every experiment of a
+// cmd/experiments invocation) shares both the pool and the cache, so the
+// 26-app base suite is simulated once per process, not once per table —
+// and with a disk tier, once per cache directory, not once per process.
 type Engine struct {
 	parallelism int
 	cacheOff    bool
 	slots       chan struct{}
+	disk        *diskCache
 
-	mu      sync.Mutex
-	entries map[Key]*entry
-	hits    uint64
-	misses  uint64
+	mu         sync.Mutex
+	entries    map[Key]*entry
+	hits       uint64
+	diskHits   uint64
+	misses     uint64
+	diskWrites uint64
 }
 
 // entry is one cache slot, created before its simulation starts so that
@@ -51,23 +64,30 @@ func New(o Options) *Engine {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		parallelism: p,
 		cacheOff:    o.DisableCache,
 		slots:       make(chan struct{}, p),
 		entries:     make(map[Key]*entry),
 	}
+	if o.DiskCacheDir != "" {
+		e.disk = &diskCache{dir: o.DiskCacheDir}
+	}
+	return e
 }
 
 // Parallelism returns the engine's worker bound.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
-// CacheStats reports the engine's cache traffic.
+// CacheStats reports the engine's cache traffic by tier.
 type CacheStats struct {
-	// Hits counts runs served from (or coalesced onto) an existing
-	// entry; Misses counts simulations actually executed.
-	Hits, Misses uint64
-	// Entries is the number of distinct specs cached.
+	// Hits counts runs served from (or coalesced onto) an in-memory
+	// entry; DiskHits counts runs served from the persistent tier;
+	// Misses counts simulations actually executed.
+	Hits, DiskHits, Misses uint64
+	// DiskWrites counts results persisted to the disk tier.
+	DiskWrites uint64
+	// Entries is the number of distinct specs cached in memory.
 	Entries int
 }
 
@@ -75,15 +95,24 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
+	return CacheStats{
+		Hits:       e.hits,
+		DiskHits:   e.diskHits,
+		Misses:     e.misses,
+		DiskWrites: e.diskWrites,
+		Entries:    len(e.entries),
+	}
 }
 
 // Run executes one spec on the calling goroutine, serving it from the
-// cache when an identical spec has already run. Specs carrying a Trace
-// callback always simulate (the per-cycle side effects cannot be
-// replayed), but their result still lands in the cache. Cancelling ctx
-// abandons a wait on another goroutine's in-flight run; a simulation
-// already executing runs to completion.
+// memory tier when an identical spec has already run, then from the disk
+// tier when one is configured, simulating only on a miss of both. Specs
+// carrying a Trace callback always simulate (the per-cycle side effects
+// cannot be replayed), but their result still lands in both tiers. A
+// failed simulation is evicted so a later identical spec retries instead
+// of replaying the stale error. Cancelling ctx abandons a wait on
+// another goroutine's in-flight run; a simulation already executing runs
+// to completion.
 func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return sim.Result{}, err
@@ -110,10 +139,38 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 	}
 	en := &entry{done: make(chan struct{})}
 	e.entries[key] = en
-	e.misses++
 	e.mu.Unlock()
 
+	// Second tier: an untraced miss may be served from disk without
+	// simulating; the loaded result is promoted into the memory tier.
+	if e.disk != nil && !traced {
+		if res, ok := e.disk.load(key); ok {
+			e.mu.Lock()
+			e.diskHits++
+			e.mu.Unlock()
+			en.res = res
+			close(en.done)
+			return res, nil
+		}
+	}
+
+	e.mu.Lock()
+	e.misses++
+	e.mu.Unlock()
 	en.res, en.err = Execute(spec)
+	if en.err != nil {
+		e.mu.Lock()
+		if e.entries[key] == en {
+			delete(e.entries, key)
+		}
+		e.mu.Unlock()
+	} else if e.disk != nil {
+		if e.disk.store(key, en.res) {
+			e.mu.Lock()
+			e.diskWrites++
+			e.mu.Unlock()
+		}
+	}
 	close(en.done)
 	return en.res, en.err
 }
@@ -159,31 +216,49 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 	results := make([]sim.Result, len(specs))
 	errs := make([]error, len(specs))
 	var progressMu sync.Mutex
-	var wg sync.WaitGroup
-	for i := range specs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+
+	// A fixed pool of min(len(specs), parallelism) workers pulls indices
+	// from a channel, so a 100k-point grid costs a handful of goroutines
+	// rather than one per point. The engine-wide slots channel still
+	// bounds total concurrency when several batches share the engine.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range specs {
 			select {
-			case e.slots <- struct{}{}:
+			case idx <- i:
 			case <-ctx.Done():
-				errs[i] = ctx.Err()
 				return
 			}
-			res, err := e.Run(ctx, specs[i])
-			<-e.slots
-			if err != nil {
-				errs[i] = err
-				cancel() // first failure drains the queue
-				return
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < min(len(specs), e.parallelism); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				select {
+				case e.slots <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					continue // drain the queue cheaply after cancellation
+				}
+				res, err := e.Run(ctx, specs[i])
+				<-e.slots
+				if err != nil {
+					errs[i] = err
+					cancel() // first failure drains the queue
+					continue
+				}
+				results[i] = res
+				if progress != nil {
+					progressMu.Lock()
+					progress(i, res)
+					progressMu.Unlock()
+				}
 			}
-			results[i] = res
-			if progress != nil {
-				progressMu.Lock()
-				progress(i, res)
-				progressMu.Unlock()
-			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 
@@ -200,10 +275,10 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 		}
 		return nil, fmt.Errorf("engine: %s: %w", labels[i], err)
 	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
 	if canceled != nil {
-		if err := parent.Err(); err != nil {
-			return nil, err
-		}
 		return nil, canceled
 	}
 	return results, nil

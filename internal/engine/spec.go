@@ -216,8 +216,12 @@ func Execute(spec Spec) (sim.Result, error) {
 		tech = sim.NewDamping(*n.Damping)
 	}
 
-	gen := workload.NewGenerator(app.Params, n.Instructions)
-	s, err := sim.New(cfg, gen, tech)
+	// The instruction stream comes from the shared trace store: the
+	// app's stream is materialized once per process and replayed through
+	// a slice cursor here (bit-identical to live generation; streams too
+	// large for the store's budget fall back to a live Generator).
+	src := workload.SharedTraces().Source(app.Params, n.Instructions)
+	s, err := sim.New(cfg, src, tech)
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/cpu"
+)
+
+// DefaultTraceBudget is the byte budget of the shared trace store: enough
+// for the full 26-app suite at the default 1M-instruction budget (~130 MB
+// packed) with generous headroom, while bounding what paper-scale streams
+// (100M instructions ≈ 500 MB each) can pin in memory.
+const DefaultTraceBudget = 1 << 30 // 1 GiB
+
+// TraceStats reports a TraceStore's traffic.
+type TraceStats struct {
+	// Builds counts traces materialized (one live Generator run each);
+	// Hits counts requests served from (or coalesced onto) a stored
+	// trace.
+	Builds, Hits uint64
+	// Bypasses counts requests whose trace alone would exceed the byte
+	// budget and therefore streamed from a live Generator instead.
+	Bypasses uint64
+	// Evictions counts traces dropped to stay within the budget.
+	Evictions uint64
+	// Entries and Bytes describe the store's current contents.
+	Entries int
+	Bytes   uint64
+}
+
+// traceKey identifies a trace by content: Params holds only scalar
+// fields, so struct equality is exactly "same application model", and
+// the limit pins the stream length. Two requests with equal keys always
+// want the identical instruction sequence.
+type traceKey struct {
+	params Params
+	limit  uint64
+}
+
+// traceEntry is one store slot, created before its materialization
+// starts so concurrent requests for the same trace coalesce onto a
+// single Generator run.
+type traceEntry struct {
+	key  traceKey
+	done chan struct{}
+	tr   *Trace
+	elem *list.Element // nil until materialized and accounted
+}
+
+// TraceStore materializes each (application, limit) instruction stream
+// once and shares the packed, read-only Trace across every concurrent
+// run that asks for it. A byte budget with LRU eviction bounds resident
+// trace data; requests that cannot fit (a single stream larger than the
+// whole budget) fall back to live generation, which is bit-identical by
+// construction. The zero value is not usable; construct with
+// NewTraceStore or use the process-wide Shared store.
+type TraceStore struct {
+	mu      sync.Mutex
+	budget  uint64
+	entries map[traceKey]*traceEntry
+	lru     *list.List // of *traceEntry, front = most recently used
+	bytes   uint64
+	stats   TraceStats
+}
+
+// NewTraceStore returns a store with the given byte budget (<= 0 means
+// DefaultTraceBudget).
+func NewTraceStore(budgetBytes int64) *TraceStore {
+	b := uint64(DefaultTraceBudget)
+	if budgetBytes > 0 {
+		b = uint64(budgetBytes)
+	}
+	return &TraceStore{
+		budget:  b,
+		entries: make(map[traceKey]*traceEntry),
+		lru:     list.New(),
+	}
+}
+
+// shared is the process-wide store: every driver that routes spec
+// construction through the engine shares it, so one cmd/experiments
+// invocation materializes each Table 2 application exactly once no
+// matter how many tables and figures replay it.
+var shared = NewTraceStore(0)
+
+// SharedTraces returns the process-wide trace store.
+func SharedTraces() *TraceStore { return shared }
+
+// SetBudget replaces the store's byte budget (<= 0 restores the
+// default) and evicts immediately if the store is over the new budget.
+func (s *TraceStore) SetBudget(budgetBytes int64) {
+	b := uint64(DefaultTraceBudget)
+	if budgetBytes > 0 {
+		b = uint64(budgetBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = b
+	s.evictLocked()
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *TraceStore) Stats() TraceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+// Source returns an instruction source for application p limited to
+// limit instructions: a fresh cursor over the stored trace (materializing
+// and storing it on first request), or a live Generator when the trace
+// alone would blow the byte budget. Either way the instruction sequence
+// is identical. It panics on invalid parameters, like NewGenerator.
+func (s *TraceStore) Source(p Params, limit uint64) cpu.Source {
+	if tr := s.Get(p, limit); tr != nil {
+		return tr.Source()
+	}
+	return NewGenerator(p, limit)
+}
+
+// Get returns the stored trace for (p, limit), materializing it on first
+// request, or nil when the trace alone would exceed the store's budget
+// (callers fall back to live generation). Concurrent first requests for
+// the same key coalesce onto one materialization.
+func (s *TraceStore) Get(p Params, limit uint64) *Trace {
+	key := traceKey{params: p, limit: limit}
+	s.mu.Lock()
+	if limit > s.budget/bytesPerInst { // overflow-safe limit*bytesPerInst > budget
+		s.stats.Bypasses++
+		s.mu.Unlock()
+		return nil
+	}
+	if en, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		if en.elem != nil {
+			s.lru.MoveToFront(en.elem)
+		}
+		s.mu.Unlock()
+		<-en.done
+		return en.tr
+	}
+	en := &traceEntry{key: key, done: make(chan struct{})}
+	s.entries[key] = en
+	s.stats.Builds++
+	s.mu.Unlock()
+
+	tr := Materialize(p, limit)
+
+	s.mu.Lock()
+	// Publish the trace before entering the LRU: evictLocked reads
+	// en.tr, and a SetBudget shrink racing this insert may evict the
+	// entry in the same critical section.
+	en.tr = tr
+	s.bytes += tr.SizeBytes()
+	en.elem = s.lru.PushFront(en)
+	s.evictLocked()
+	s.mu.Unlock()
+	close(en.done)
+	return tr
+}
+
+// evictLocked drops least-recently-used traces until the store fits its
+// budget. In-flight materializations (no lru element yet) are never
+// evicted here; they account themselves on completion. Runs already
+// holding an evicted *Trace keep replaying it safely — eviction only
+// drops the store's reference.
+func (s *TraceStore) evictLocked() {
+	for s.bytes > s.budget {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		en := back.Value.(*traceEntry)
+		s.lru.Remove(back)
+		delete(s.entries, en.key)
+		s.bytes -= en.tr.SizeBytes()
+		s.stats.Evictions++
+	}
+}

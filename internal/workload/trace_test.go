@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTraceMatchesGenerator: for every Table 2 application, the
+// materialized trace replays the exact instruction sequence the live
+// Generator produces — same classes, distances, memory levels, and
+// misprediction flags, and the same end of stream.
+func TestTraceMatchesGenerator(t *testing.T) {
+	const insts = 50_000
+	for _, app := range Apps() {
+		app := app
+		t.Run(app.Params.Name, func(t *testing.T) {
+			gen := NewGenerator(app.Params, insts)
+			tr := Materialize(app.Params, insts)
+			src := tr.Source()
+			if tr.Len() != insts {
+				t.Fatalf("trace has %d instructions, want %d", tr.Len(), insts)
+			}
+			for i := 0; ; i++ {
+				want, wok := gen.Next()
+				got, gok := src.Next()
+				if wok != gok {
+					t.Fatalf("inst %d: stream end mismatch (generator %v, trace %v)", i, wok, gok)
+				}
+				if !wok {
+					break
+				}
+				if want != got {
+					t.Fatalf("inst %d: generator %+v, trace replay %+v", i, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceIndependentCursors: two cursors over one trace do not
+// interfere, and Reset rewinds to the identical stream.
+func TestTraceIndependentCursors(t *testing.T) {
+	app, err := ByName("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Materialize(app.Params, 1_000)
+	a, b := tr.Source(), tr.Source()
+	for i := 0; i < 500; i++ {
+		a.Next()
+	}
+	first, _ := tr.Source().Next()
+	if got, _ := b.Next(); got != first {
+		t.Errorf("second cursor perturbed by first: %+v != %+v", got, first)
+	}
+	a.Reset()
+	if got, _ := a.Next(); got != first {
+		t.Errorf("reset cursor diverged: %+v != %+v", got, first)
+	}
+}
+
+// TestStoreCoalescesAndCounts: repeated and concurrent requests for one
+// trace materialize it exactly once.
+func TestStoreCoalescesAndCounts(t *testing.T) {
+	app, err := ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewTraceStore(0)
+	const callers = 16
+	var wg sync.WaitGroup
+	traces := make([]*Trace, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traces[i] = s.Get(app.Params, 10_000)
+		}(i)
+	}
+	wg.Wait()
+	for i, tr := range traces {
+		if tr != traces[0] {
+			t.Fatalf("caller %d got a different trace instance", i)
+		}
+	}
+	st := s.Stats()
+	if st.Builds != 1 {
+		t.Errorf("materialized %d times, want 1", st.Builds)
+	}
+	if st.Hits != callers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	}
+	if st.Entries != 1 || st.Bytes != traces[0].SizeBytes() {
+		t.Errorf("store holds %d entries / %d bytes, want 1 / %d", st.Entries, st.Bytes, traces[0].SizeBytes())
+	}
+}
+
+// TestStoreBudgetBypass: a stream that alone exceeds the budget is not
+// materialized; Source falls back to a live generator with the identical
+// stream.
+func TestStoreBudgetBypass(t *testing.T) {
+	app, err := ByName("lucas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 10_000
+	s := NewTraceStore(insts * bytesPerInst / 2)
+	if tr := s.Get(app.Params, insts); tr != nil {
+		t.Fatal("over-budget trace was materialized")
+	}
+	src := s.Source(app.Params, insts)
+	if _, isTrace := src.(interface{ Reset() }); isTrace {
+		t.Fatal("over-budget Source did not fall back to a generator")
+	}
+	gen := NewGenerator(app.Params, insts)
+	for i := 0; i < insts; i++ {
+		want, _ := gen.Next()
+		got, ok := src.Next()
+		if !ok || want != got {
+			t.Fatalf("inst %d: fallback stream diverged (%+v vs %+v)", i, want, got)
+		}
+	}
+	st := s.Stats()
+	if st.Bypasses != 2 || st.Builds != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 2 bypasses and an empty store", st)
+	}
+}
+
+// TestStoreLRUEviction: filling the store past its budget evicts the
+// least recently used trace, and a shrunken budget evicts immediately.
+func TestStoreLRUEviction(t *testing.T) {
+	apps := Apps()
+	const insts = 1_000
+	// Room for exactly two traces.
+	s := NewTraceStore(2 * insts * bytesPerInst)
+	a, b, c := apps[0].Params, apps[1].Params, apps[2].Params
+	s.Get(a, insts)
+	s.Get(b, insts)
+	s.Get(a, insts) // touch a: b becomes LRU
+	s.Get(c, insts) // evicts b
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after fill = %+v, want 1 eviction, 2 entries", st)
+	}
+	if s.Stats().Hits != 1 {
+		t.Errorf("hits = %d, want 1 (the re-touch of %s)", st.Hits, a.Name)
+	}
+	// b was evicted: asking again rebuilds it.
+	s.Get(b, insts)
+	if st := s.Stats(); st.Builds != 4 {
+		t.Errorf("builds = %d, want 4 (b rebuilt after eviction)", st.Builds)
+	}
+	// Shrinking the budget below one trace empties the store.
+	s.SetBudget(insts * bytesPerInst / 2)
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("store not emptied by budget shrink: %+v", st)
+	}
+}

@@ -140,6 +140,40 @@ func NewEngine(parallelism int) *Engine {
 	return engine.New(engine.Options{Parallelism: parallelism})
 }
 
+// EngineOptions configures an Engine beyond its parallelism: a
+// DiskCacheDir adds the persistent result-cache tier (one JSON file per
+// spec content address, shared across processes), and DisableCache turns
+// memoization off entirely.
+type EngineOptions = engine.Options
+
+// EngineCacheStats is an engine's tier-labelled cache traffic (memory
+// hits, disk hits, simulations executed, disk writes).
+type EngineCacheStats = engine.CacheStats
+
+// NewEngineWithOptions returns an engine with full control over its
+// options, e.g. a persistent disk cache tier:
+//
+//	eng := resonance.NewEngineWithOptions(resonance.EngineOptions{DiskCacheDir: "results/.cache"})
+func NewEngineWithOptions(o EngineOptions) *Engine {
+	return engine.New(o)
+}
+
+// WorkloadTraceStats is the shared trace store's traffic (materialized
+// builds, replay hits, budget bypasses, evictions, resident bytes).
+type WorkloadTraceStats = workload.TraceStats
+
+// TraceStoreStats reports the process-wide trace store's counters. Every
+// simulation routed through an Engine (or Simulate) draws its
+// instruction stream from this store: each application's stream is
+// materialized once and replayed everywhere.
+func TraceStoreStats() WorkloadTraceStats { return workload.SharedTraces().Stats() }
+
+// SetTraceStoreBudget bounds the resident bytes of the process-wide
+// trace store (<= 0 restores the 1 GiB default). Streams that alone
+// exceed the budget are generated live instead of materialized; results
+// are bit-identical either way.
+func SetTraceStoreBudget(bytes int64) { workload.SharedTraces().SetBudget(bytes) }
+
 // DefaultTuningConfig returns the paper's evaluated resonance-tuning
 // configuration (Section 5.2) with the given initial response time.
 func DefaultTuningConfig(initialResponseCycles int) TuningConfig {
