@@ -88,6 +88,36 @@ func BenchmarkTable3WarmDiskCache(b *testing.B) {
 	}
 }
 
+// BenchmarkRelatedSuiteWarm runs the six-technique related-work
+// comparison against a warm disk cache: each iteration gets a fresh
+// engine (cold memory tier) and must replay all 28 runs (7 techniques ×
+// 4 apps, now that the related runner goes through the engine) from the
+// persistent tier without simulating.
+func BenchmarkRelatedSuiteWarm(b *testing.B) {
+	dir := b.TempDir()
+	warm := func() *Engine {
+		return NewEngineWithOptions(EngineOptions{DiskCacheDir: dir})
+	}
+	opts := Options{Instructions: benchOpts.Instructions, Engine: warm()}
+	if _, err := RunExperiment("related", opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := warm()
+		rep, err := RunExperiment("related", Options{Instructions: benchOpts.Instructions, Engine: eng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Text == "" {
+			b.Fatal("empty report")
+		}
+		if st := eng.CacheStats(); st.Misses != 0 {
+			b.Fatalf("warm pass simulated %d specs, want 0", st.Misses)
+		}
+	}
+}
+
 // BenchmarkTable4VoltageControl regenerates Table 4.
 func BenchmarkTable4VoltageControl(b *testing.B) { benchExperiment(b, "table4") }
 

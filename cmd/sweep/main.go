@@ -37,6 +37,9 @@ func main() {
 	var (
 		appsFlag  = flag.String("apps", "lucas,swim,bzip,parser", "comma-separated application names")
 		insts     = flag.Uint64("insts", 300_000, "instructions per run")
+		techFlag  = flag.String("technique", string(engine.TechniqueTuning),
+			"technique kind to run at each grid point (one of: "+kindList()+"); "+
+				"the -initial/-threshold/-second axes configure tuning, every other kind runs its default configuration once per app")
 		initials  = flag.String("initial", "75,100,150,200", "initial response times (cycles)")
 		thresh    = flag.String("threshold", "1,2", "initial response thresholds (event count)")
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
@@ -55,7 +58,10 @@ func main() {
 	}
 	defer stopProfiles()
 
-	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts}
+	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts, technique: engine.TechniqueKind(*techFlag)}
+	if !validKind(grid.technique) {
+		fatal(fmt.Errorf("-technique: unknown kind %q (valid: %s)", *techFlag, kindList()))
+	}
 	if grid.initials, err = parseInts(*initials); err != nil {
 		fatal(fmt.Errorf("-initial: %w", err))
 	}
@@ -91,13 +97,49 @@ func main() {
 		ts.Builds, ts.Hits, ts.Bypasses, ts.Evictions, float64(ts.Bytes)/(1<<20))
 }
 
+// kindList renders every registered technique kind for usage and error
+// text.
+func kindList() string {
+	ks := engine.Kinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return strings.Join(out, ", ")
+}
+
+// validKind reports whether the kind is registered ("" means the default
+// tuning sweep).
+func validKind(kind engine.TechniqueKind) bool {
+	if kind == "" {
+		return true
+	}
+	for _, k := range engine.Kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // sweepGrid is the cross product the sweep explores.
 type sweepGrid struct {
-	apps       []string
-	insts      uint64
+	apps  []string
+	insts uint64
+	// technique is the registered kind each grid point runs; empty
+	// means TechniqueTuning. The initials/thresholds/seconds axes
+	// parameterise tuning only — any other kind runs its default
+	// configuration, collapsing the grid to one point per app.
+	technique  engine.TechniqueKind
 	initials   []int
 	thresholds []int
 	seconds    []int
+}
+
+// tunes reports whether the grid sweeps tuning configurations (the axes
+// apply) as opposed to running another registered kind at its defaults.
+func (g sweepGrid) tunes() bool {
+	return g.technique == "" || g.technique == engine.TechniqueTuning
 }
 
 // gridPoint is one tuned configuration of the grid, remembering which
@@ -105,18 +147,28 @@ type sweepGrid struct {
 type gridPoint struct {
 	appIdx              int
 	app                 string
+	technique           engine.TechniqueKind
 	initial, th, second int
 }
 
 // points enumerates the grid in stable app-major order — the CSV row
 // order, regardless of completion order.
 func (g sweepGrid) points() []gridPoint {
+	initials, thresholds, seconds := g.initials, g.thresholds, g.seconds
+	if !g.tunes() {
+		// The tuning axes do not parameterise other techniques; one
+		// default-configuration point per app.
+		initials, thresholds, seconds = []int{0}, []int{0}, []int{0}
+	}
 	var pts []gridPoint
 	for ai, app := range g.apps {
-		for _, initial := range g.initials {
-			for _, th := range g.thresholds {
-				for _, second := range g.seconds {
-					pts = append(pts, gridPoint{appIdx: ai, app: app, initial: initial, th: th, second: second})
+		for _, initial := range initials {
+			for _, th := range thresholds {
+				for _, second := range seconds {
+					pts = append(pts, gridPoint{
+						appIdx: ai, app: app, technique: g.technique,
+						initial: initial, th: th, second: second,
+					})
 				}
 			}
 		}
@@ -124,15 +176,23 @@ func (g sweepGrid) points() []gridPoint {
 	return pts
 }
 
-// spec builds the tuned run of one grid point.
+// spec builds the controlled run of one grid point.
 func (p gridPoint) spec(insts uint64) engine.Spec {
-	cfg := resonance.DefaultTuningConfig(p.initial)
-	cfg.InitialResponseThreshold = p.th
-	if cfg.SecondResponseThreshold <= p.th {
-		cfg.SecondResponseThreshold = p.th + 1
+	kind := p.technique
+	if kind == "" {
+		kind = engine.TechniqueTuning
 	}
-	cfg.SecondResponseCycles = p.second
-	return engine.Spec{App: p.app, Instructions: insts, Technique: engine.TechniqueTuning, Tuning: &cfg}
+	s := engine.Spec{App: p.app, Instructions: insts, Technique: kind}
+	if kind == engine.TechniqueTuning {
+		cfg := resonance.DefaultTuningConfig(p.initial)
+		cfg.InitialResponseThreshold = p.th
+		if cfg.SecondResponseThreshold <= p.th {
+			cfg.SecondResponseThreshold = p.th + 1
+		}
+		cfg.SecondResponseCycles = p.second
+		s.Tuning = &cfg
+	}
+	return s
 }
 
 const csvHeader = "app,initial_cycles,initial_threshold,second_cycles,slowdown,rel_energy,rel_energy_delay,base_violations,violations"
@@ -159,10 +219,11 @@ func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer)
 	pts := g.points()
 	ep := make([]engine.Point, len(pts))
 	for i, p := range pts {
-		ep[i] = engine.Point{
-			Label: fmt.Sprintf("app=%s initial=%d threshold=%d second=%d", p.app, p.initial, p.th, p.second),
-			Spec:  p.spec(g.insts),
+		label := fmt.Sprintf("app=%s initial=%d threshold=%d second=%d", p.app, p.initial, p.th, p.second)
+		if !g.tunes() {
+			label = fmt.Sprintf("app=%s technique=%s", p.app, p.technique)
 		}
+		ep[i] = engine.Point{Label: label, Spec: p.spec(g.insts)}
 	}
 
 	// The progress callback is serialized by the engine; buffer rows

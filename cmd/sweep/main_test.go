@@ -153,6 +153,52 @@ func TestSweepReusesBaselines(t *testing.T) {
 	}
 }
 
+// TestTechniqueKindValidation: every registered kind is accepted and
+// listed; junk is rejected.
+func TestTechniqueKindValidation(t *testing.T) {
+	list := kindList()
+	for _, k := range engine.Kinds() {
+		if !validKind(k) {
+			t.Errorf("registered kind %q rejected", k)
+		}
+		if !strings.Contains(list, string(k)) {
+			t.Errorf("kind list %q omits %q", list, k)
+		}
+	}
+	if !validKind("") {
+		t.Error("empty kind (default tuning) rejected")
+	}
+	if validKind("no-such-technique") {
+		t.Error("unknown kind accepted")
+	}
+	for _, want := range []string{"base", "tuning", "voltctl", "damping", "convctl", "wavelet", "dual-band"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("kind list %q missing %q", list, want)
+		}
+	}
+}
+
+// TestSweepTechniqueFlag: a non-tuning technique collapses the grid to
+// one default-configuration point per app and sweeps cleanly.
+func TestSweepTechniqueFlag(t *testing.T) {
+	for _, kind := range []engine.TechniqueKind{engine.TechniqueVoltageControl, engine.TechniqueDualBand} {
+		g := tinyGrid()
+		g.insts = 10_000
+		g.technique = kind
+		if got := len(g.points()); got != len(g.apps) {
+			t.Fatalf("technique %s: %d grid points, want one per app (%d)", kind, got, len(g.apps))
+		}
+		var out bytes.Buffer
+		if err := runSweep(context.Background(), engine.New(engine.Options{Parallelism: 2}), g, &out); err != nil {
+			t.Fatalf("technique %s: %v", kind, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(lines) != 1+len(g.apps) {
+			t.Errorf("technique %s: %d CSV lines, want header + %d rows:\n%s", kind, len(lines), len(g.apps), out.String())
+		}
+	}
+}
+
 // benchGrid is the default flag grid (4 apps × 4 initials × 2 thresholds
 // × 1 hold) at a reduced instruction budget so a benchmark iteration
 // stays in seconds.

@@ -48,6 +48,18 @@ type Config struct {
 	Seed uint64
 }
 
+// WithDefaults returns the configuration with every zero field resolved
+// to its default (the form New actually runs), or an error when the
+// configuration is unusable. It is what the engine's technique registry
+// normalizes and validates specs with.
+func (c Config) WithDefaults() (Config, error) { return c.withDefaults() }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
 // withDefaults resolves zero fields.
 func (c Config) withDefaults() (Config, error) {
 	if err := c.Supply.Validate(); err != nil {

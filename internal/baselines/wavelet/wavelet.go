@@ -39,6 +39,18 @@ type Config struct {
 	ResponseCycles int
 }
 
+// WithDefaults returns the configuration with every zero field resolved
+// to its default (the form New actually runs), or an error when the
+// configuration is unusable. It is what the engine's technique registry
+// normalizes and validates specs with.
+func (c Config) WithDefaults() (Config, error) { return c.withDefaults() }
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	_, err := c.withDefaults()
+	return err
+}
+
 func (c Config) withDefaults() (Config, error) {
 	if c.Scales == nil {
 		c.Scales = []int{32, 64}

@@ -12,7 +12,7 @@ import (
 // diskCacheVersion guards the on-disk entry schema: bumping it after a
 // Result field change makes every old entry stale, so it is ignored and
 // rewritten instead of silently decoding into the wrong shape.
-const diskCacheVersion = 1
+const diskCacheVersion = 2
 
 // diskEntry is the JSON envelope of one cached result. JSON float64
 // encoding is shortest-round-trip, so a reloaded Result is bit-identical

@@ -3,6 +3,10 @@ package engine
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/baselines/convctl"
+	"repro/internal/baselines/wavelet"
+	"repro/internal/workload"
 )
 
 // specFromFuzz builds a Spec from fuzzed primitives, exercising every
@@ -11,7 +15,7 @@ import (
 // unknown technique kind is unkeyable, and that consistently).
 func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float64, i1, i2 int) Spec {
 	s := Spec{App: app, Instructions: insts}
-	switch techSel % 5 {
+	switch techSel % 8 {
 	case 0: // base, left implicit
 	case 1:
 		s.Technique = TechniqueNone
@@ -41,6 +45,28 @@ func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float
 			dc.LowerScale = f2
 			s.Damping = &dc
 		}
+	case 5:
+		s.Technique = TechniqueConvolution
+		if variant%2 == 1 {
+			cc := convctl.Config{ThresholdVolts: f1, Horizon: i1, EstimateErrorAmps: f2, Seed: uint64(i2)}
+			s.Convolution = &cc
+		}
+	case 6:
+		s.Technique = TechniqueWavelet
+		if variant%2 == 1 {
+			wc := wavelet.Config{Scales: []int{i1, i2}, ThresholdAmpCycles: f1, Repetitions: i2}
+			s.Wavelet = &wc
+		}
+	case 7:
+		s.Technique = TechniqueDualBand
+		if variant%2 == 1 {
+			db := DualBandConfig{DecimationFactor: i1}
+			db.Medium = DefaultTuningConfig(i2)
+			db.Medium.PhantomTargetAmps = f1
+			db.Low = DefaultTuningConfig(100)
+			db.Low.Detector.ThresholdAmps = f2
+			s.DualBand = &db
+		}
 	}
 	if variant%4 >= 2 {
 		cfg := *mustNormalize(Spec{App: app}).System
@@ -48,11 +74,21 @@ func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float
 		cfg.Power.PeakWatts += f2
 		s.System = &cfg
 	}
+	if variant%8 >= 4 {
+		w := workload.Params{
+			Name: app, Seed: uint64(i1),
+			Mix:     workload.Mix{IntALU: 1},
+			DepProb: f1, L1MissRate: f2,
+		}
+		w.Burst.Enabled = variant%2 == 1
+		w.Burst.BurstInsts = i2
+		s.Workload = &w
+	}
 	return s
 }
 
 func mustNormalize(s Spec) Spec {
-	n, err := s.normalized()
+	n, _, err := s.normalized()
 	if err != nil {
 		panic(err)
 	}
@@ -75,6 +111,16 @@ func FuzzSpecKey(f *testing.F) {
 		"bzip", uint64(1_000_000), uint8(4), uint8(1), 8.0, 0.0, 50, 0)
 	f.Add("art", uint64(42), uint8(2), uint8(3), -1.5, 3.25, -7, 9,
 		"art", uint64(42), uint8(2), uint8(3), -1.5, 3.25, -7, 9)
+	// Convolution, wavelet, and dual-band sections, plus custom-workload
+	// variants (variant ≥ 4 attaches a Workload section).
+	f.Add("swim", uint64(200_000), uint8(5), uint8(1), 0.03, 2.0, 6, 42,
+		"swim", uint64(200_000), uint8(5), uint8(1), 0.03, 2.0, 8, 42)
+	f.Add("lucas", uint64(200_000), uint8(6), uint8(1), 8.0, 0.0, 32, 2,
+		"lucas", uint64(200_000), uint8(6), uint8(1), 8.0, 0.0, 64, 2)
+	f.Add("bzip", uint64(150_000), uint8(7), uint8(1), 70.0, 40.0, 25, 100,
+		"bzip", uint64(150_000), uint8(7), uint8(1), 70.0, 44.0, 25, 100)
+	f.Add("lowosc", uint64(120_000), uint8(7), uint8(5), 70.0, 40.0, 25, 4000,
+		"lowosc", uint64(120_000), uint8(0), uint8(5), 70.0, 40.0, 25, 4000)
 
 	f.Fuzz(func(t *testing.T,
 		appA string, instsA uint64, techA, varA uint8, f1A, f2A float64, i1A, i2A int,
@@ -118,6 +164,23 @@ func FuzzSpecKey(f *testing.F) {
 		if a.System != nil {
 			sc := *a.System
 			aCopy.System = &sc
+		}
+		if a.Convolution != nil {
+			cc := *a.Convolution
+			aCopy.Convolution = &cc
+		}
+		if a.Wavelet != nil {
+			wc := *a.Wavelet
+			wc.Scales = append([]int(nil), wc.Scales...)
+			aCopy.Wavelet = &wc
+		}
+		if a.DualBand != nil {
+			db := *a.DualBand
+			aCopy.DualBand = &db
+		}
+		if a.Workload != nil {
+			w := *a.Workload
+			aCopy.Workload = &w
 		}
 		kc, err := aCopy.Key()
 		if err != nil {

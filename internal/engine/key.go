@@ -35,7 +35,7 @@ func (s Spec) Key() (Key, error) {
 // length-prefixed strings, and presence bytes for optional sections. It
 // is the ground truth the fuzz tests compare Keys against.
 func (s Spec) Canonical() ([]byte, error) {
-	n, err := s.normalized()
+	n, _, err := s.normalized()
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +43,16 @@ func (s Spec) Canonical() ([]byte, error) {
 	encodeString(&buf, n.App)
 	encodeUint(&buf, n.Instructions)
 	encodeString(&buf, string(n.Technique))
-	for _, section := range []any{n.System, n.Tuning, n.VoltageControl, n.Damping} {
+	sections := []any{n.Workload, n.System}
+	// Every registered technique's section participates (with a
+	// presence byte) in registration order; normalization guarantees
+	// only the selected technique's section is non-nil.
+	for _, d := range registryOrder {
+		if d.Section != nil {
+			sections = append(sections, d.Section(&n))
+		}
+	}
+	for _, section := range sections {
 		if err := encodeValue(&buf, reflect.ValueOf(section)); err != nil {
 			return nil, err
 		}
@@ -101,6 +110,22 @@ func encodeValue(buf *bytes.Buffer, v reflect.Value) error {
 		return nil
 	case reflect.Float32, reflect.Float64:
 		encodeUint(buf, math.Float64bits(v.Float()))
+		return nil
+	case reflect.Slice:
+		// Presence byte (nil vs empty differ for defaulting) plus a
+		// length prefix so adjacent slices cannot alias.
+		if v.IsNil() {
+			buf.WriteByte(0)
+			return nil
+		}
+		buf.WriteByte(1)
+		var l [binary.MaxVarintLen64]byte
+		buf.Write(l[:binary.PutUvarint(l[:], uint64(v.Len()))])
+		for i := 0; i < v.Len(); i++ {
+			if err := encodeValue(buf, v.Index(i)); err != nil {
+				return fmt.Errorf("%s[%d]: %w", v.Type(), i, err)
+			}
+		}
 		return nil
 	default:
 		return fmt.Errorf("engine: cannot canonically encode kind %s", v.Kind())

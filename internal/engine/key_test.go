@@ -5,13 +5,16 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/damping"
 	"repro/internal/baselines/voltctl"
+	"repro/internal/baselines/wavelet"
 	"repro/internal/circuit"
 	"repro/internal/cpu"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/tuning"
+	"repro/internal/workload"
 )
 
 // TestKeyPointerIdentityIrrelevant: equal configurations behind distinct
@@ -141,7 +144,8 @@ func TestCanonicalCoversAllConfigFields(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{"engine.Spec", reflect.TypeOf(Spec{}), 8},
+		{"engine.Spec", reflect.TypeOf(Spec{}), 12},
+		{"engine.DualBandConfig", reflect.TypeOf(DualBandConfig{}), 3},
 		{"sim.Config", reflect.TypeOf(sim.Config{}), 7},
 		{"cpu.Config", reflect.TypeOf(cpu.Config{}), 21},
 		{"power.Config", reflect.TypeOf(power.Config{}), 5},
@@ -151,6 +155,11 @@ func TestCanonicalCoversAllConfigFields(t *testing.T) {
 		{"tuning.DetectorConfig", reflect.TypeOf(tuning.DetectorConfig{}), 4},
 		{"voltctl.Config", reflect.TypeOf(voltctl.Config{}), 4},
 		{"damping.Config", reflect.TypeOf(damping.Config{}), 4},
+		{"convctl.Config", reflect.TypeOf(convctl.Config{}), 6},
+		{"wavelet.Config", reflect.TypeOf(wavelet.Config{}), 4},
+		{"workload.Params", reflect.TypeOf(workload.Params{}), 10},
+		{"workload.Mix", reflect.TypeOf(workload.Mix{}), 7},
+		{"workload.Burst", reflect.TypeOf(workload.Burst{}), 10},
 	} {
 		if got := tc.typ.NumField(); got != tc.want {
 			t.Errorf("%s has %d fields, test expects %d — confirm the canonical encoding still covers every field, then update this count",

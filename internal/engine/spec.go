@@ -15,10 +15,12 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/damping"
 	"repro/internal/baselines/voltctl"
+	"repro/internal/baselines/wavelet"
 	"repro/internal/circuit"
-	"repro/internal/cpu"
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/tuning"
 	"repro/internal/workload"
@@ -28,7 +30,9 @@ import (
 // Instructions zero.
 const DefaultInstructions = 1_000_000
 
-// TechniqueKind selects an inductive-noise control scheme.
+// TechniqueKind selects an inductive-noise control scheme. The set of
+// valid kinds is the technique registry (see Kinds and Register in
+// registry.go); each kind below is registered in this package's init.
 type TechniqueKind string
 
 // Available techniques.
@@ -41,18 +45,32 @@ const (
 	TechniqueVoltageControl TechniqueKind = "voltctl"
 	// TechniqueDamping is pipeline damping [14].
 	TechniqueDamping TechniqueKind = "damping"
+	// TechniqueConvolution is the convolution-based predictor of [8].
+	TechniqueConvolution TechniqueKind = "convctl"
+	// TechniqueWavelet is the Haar-wavelet detector in the spirit of [11].
+	TechniqueWavelet TechniqueKind = "wavelet"
+	// TechniqueDualBand is Section 2.2's dual-band resonance tuning:
+	// the medium-band controller plus a decimated low-band controller.
+	TechniqueDualBand TechniqueKind = "dual-band"
 )
 
 // Spec describes one deterministic simulation run: the application, the
 // run length, the technique and its configuration, and the simulated
 // system. It is the unit of caching — see Key.
 type Spec struct {
-	// App names a Table 2 application (see workload.Apps).
+	// App names a Table 2 application (see workload.Apps). When Workload
+	// is non-nil App is only a label (defaulting to Workload.Name).
 	App string
 	// Instructions is the run length; zero means DefaultInstructions.
 	Instructions uint64
 	// Technique selects the control scheme; empty means TechniqueNone.
 	Technique TechniqueKind
+
+	// Workload overrides the Table 2 application lookup with explicit
+	// synthetic-workload parameters when non-nil. Runners with bespoke
+	// instruction streams (the low-frequency and scaling experiments)
+	// use this to stay inside the cached engine path.
+	Workload *workload.Params
 
 	// System overrides the Table 1 system when non-nil.
 	System *sim.Config
@@ -65,6 +83,16 @@ type Spec struct {
 	// Damping overrides the default [14] configuration (50-cycle
 	// window, δ = 16 A) when non-nil.
 	Damping *DampingConfig
+	// Convolution overrides the default [8] configuration when non-nil
+	// (only used with TechniqueConvolution). A zero Supply defaults to
+	// the spec's own simulated supply.
+	Convolution *convctl.Config
+	// Wavelet overrides the default [11]-style configuration when
+	// non-nil (only used with TechniqueWavelet).
+	Wavelet *wavelet.Config
+	// DualBand overrides the derived dual-band configuration when
+	// non-nil (only used with TechniqueDualBand).
+	DualBand *DualBandConfig
 
 	// Trace, when non-nil, receives every cycle's waveform point. A
 	// traced run always simulates — the callback's side effects cannot
@@ -75,6 +103,20 @@ type Spec struct {
 
 // DampingConfig aliases the [14] configuration for Spec construction.
 type DampingConfig = damping.Config
+
+// DualBandConfig configures Section 2.2's dual-band resonance tuning: a
+// medium-band controller at core clock plus a low-band controller
+// running on a decimated current stream (its cycle-denominated Detector
+// and response fields are in decimated units).
+type DualBandConfig struct {
+	// Medium is the core-clock medium-band controller configuration.
+	Medium tuning.Config
+	// Low is the decimated low-band controller configuration.
+	Low tuning.Config
+	// DecimationFactor is how many core cycles one low-band sample
+	// spans; zero means DefaultDualBandDecimation.
+	DecimationFactor int
+}
 
 // DefaultTuningConfig returns the paper's evaluated resonance-tuning
 // configuration (Section 5.2) with the given initial response time.
@@ -115,8 +157,9 @@ func defaultDamping() damping.Config {
 // pointers to equal configurations — become structurally identical. The
 // canonical encoding (and therefore the cache key) is computed from the
 // normalized form, and Execute builds the simulation from it, which is
-// what makes the cache sound.
-func (s Spec) normalized() (Spec, error) {
+// what makes the cache sound. The selected technique's registry
+// descriptor is returned alongside.
+func (s Spec) normalized() (Spec, *Descriptor, error) {
 	n := s
 	if n.Instructions == 0 {
 		n.Instructions = DefaultInstructions
@@ -124,113 +167,125 @@ func (s Spec) normalized() (Spec, error) {
 	if n.Technique == "" {
 		n.Technique = TechniqueNone
 	}
+	if n.Workload != nil {
+		w := *n.Workload
+		n.Workload = &w
+		if n.App == "" {
+			n.App = w.Name
+		}
+	}
 	cfg := sim.DefaultConfig()
 	if n.System != nil {
 		cfg = *n.System
 	}
 	n.System = &cfg
 
-	// Only the selected technique's configuration is semantically
-	// meaningful; drop the rest so it cannot perturb the key.
-	n.Tuning, n.VoltageControl, n.Damping = nil, nil, nil
-	switch n.Technique {
-	case TechniqueNone:
-	case TechniqueTuning:
-		tc := DefaultTuningConfig(100)
-		if s.Tuning != nil {
-			tc = *s.Tuning
-		}
-		if tc.PhantomTargetAmps == 0 {
-			// The paper's second-level response holds the mid current
-			// level; replicate power.Model.MidAmps from the envelope.
-			tc.PhantomTargetAmps = (cfg.Power.PeakWatts/cfg.Power.Vdd + cfg.Power.IdleWatts/cfg.Power.Vdd) / 2
-		}
-		n.Tuning = &tc
-	case TechniqueVoltageControl:
-		vc := defaultVoltageControl()
-		if s.VoltageControl != nil {
-			vc = *s.VoltageControl
-		}
-		n.VoltageControl = &vc
-	case TechniqueDamping:
-		dc := defaultDamping()
-		if s.Damping != nil {
-			dc = *s.Damping
-		}
-		n.Damping = &dc
-	default:
-		return Spec{}, fmt.Errorf("engine: unknown technique %q", n.Technique)
+	desc, ok := lookupTechnique(n.Technique)
+	if !ok {
+		return Spec{}, nil, fmt.Errorf("engine: unknown technique %q (registered kinds: %v)", n.Technique, Kinds())
 	}
-	return n, nil
+	// Only the selected technique's configuration is semantically
+	// meaningful; drop the rest so it cannot perturb the key, then let
+	// the selected descriptor resolve its own section's defaults.
+	clearSections(&n)
+	if desc.Normalize != nil {
+		// Normalize-time Env carries only pure-arithmetic envelope
+		// quantities so Key stays total even over unusable systems;
+		// this formula replicates power.Model.MidAmps (asserted by
+		// TestNormalizeMidAmpsMatchesPowerModel).
+		env := Env{MidAmps: (cfg.Power.PeakWatts/cfg.Power.Vdd + cfg.Power.IdleWatts/cfg.Power.Vdd) / 2}
+		desc.Normalize(&s, &n, env)
+	}
+	return n, desc, nil
 }
 
 // Execute builds and runs the simulation described by spec on the
 // calling goroutine, bypassing any cache. It is the single construction
-// path for every driver in the repo.
+// path for every driver in the repo: the spec's technique descriptor
+// (see registry.go) validates the resolved configuration and constructs
+// the adapter.
 func Execute(spec Spec) (sim.Result, error) {
-	n, err := spec.normalized()
+	n, desc, err := spec.normalized()
 	if err != nil {
 		return sim.Result{}, err
 	}
-	app, err := workload.ByName(n.App)
-	if err != nil {
-		return sim.Result{}, err
+	params := workload.Params{}
+	if n.Workload != nil {
+		params = *n.Workload
+		if err := params.Validate(); err != nil {
+			return sim.Result{}, err
+		}
+	} else {
+		app, err := workload.ByName(n.App)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		params = app.Params
 	}
-	// The technique constructors panic on unusable configurations;
-	// validate here so a bad grid point surfaces as an error naming it.
-	switch n.Technique {
-	case TechniqueTuning:
-		err = n.Tuning.Validate()
-	case TechniqueVoltageControl:
-		err = n.VoltageControl.Validate()
-	case TechniqueDamping:
-		err = n.Damping.Validate()
-	}
+	tech, hooks, err := buildTechnique(&n, desc)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	cfg := *n.System
 
-	// A probe provides the power model for technique defaults that
-	// depend on the electrical envelope (phantom-fire current).
-	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	pwr := probe.Power()
-
-	var tech sim.Technique
-	var traceCount func() int
-	var traceLevel func() int
-	switch n.Technique {
-	case TechniqueNone:
-	case TechniqueTuning:
-		rt := sim.NewResonanceTuning(*n.Tuning)
-		tech = rt
-		traceCount, traceLevel = rt.EventCount, rt.Level
-	case TechniqueVoltageControl:
-		v := sim.NewVoltageControl(*n.VoltageControl, pwr.PhantomFireAmps())
-		tech = v
-		traceLevel = v.Level
-	case TechniqueDamping:
-		tech = sim.NewDamping(*n.Damping)
-	}
-
 	// The instruction stream comes from the shared trace store: the
 	// app's stream is materialized once per process and replayed through
 	// a slice cursor here (bit-identical to live generation; streams too
 	// large for the store's budget fall back to a live Generator).
-	src := workload.SharedTraces().Source(app.Params, n.Instructions)
+	src := workload.SharedTraces().Source(params, n.Instructions)
 	s, err := sim.New(cfg, src, tech)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	if spec.Trace != nil {
-		s.SetTrace(spec.Trace, traceCount, traceLevel)
+		s.SetTrace(spec.Trace, hooks.EventCount, hooks.Level)
 	}
 	name := string(TechniqueNone)
 	if tech != nil {
 		name = tech.Name()
 	}
 	return s.Run(n.App, name), nil
+}
+
+// buildTechnique validates a normalized spec's technique section and
+// constructs the adapter with the build-time envelope read off the power
+// model. tech is nil for TechniqueNone.
+func buildTechnique(n *Spec, desc *Descriptor) (sim.Technique, TraceHooks, error) {
+	// The technique constructors panic on unusable configurations;
+	// validate here so a bad grid point surfaces as an error naming it.
+	if desc.Validate != nil {
+		if err := desc.Validate(n); err != nil {
+			return nil, TraceHooks{}, err
+		}
+	}
+	// Techniques that depend on the electrical envelope (phantom-fire
+	// current, mid level) read it straight off the power model; validate
+	// the inputs first because power.New panics on bad configurations.
+	if err := n.System.CPU.Validate(); err != nil {
+		return nil, TraceHooks{}, err
+	}
+	if err := n.System.Power.Validate(); err != nil {
+		return nil, TraceHooks{}, err
+	}
+	pwr := power.New(n.System.Power, n.System.CPU)
+	env := Env{MidAmps: pwr.MidAmps(), PhantomFireAmps: pwr.PhantomFireAmps()}
+	if desc.Build == nil {
+		return nil, TraceHooks{}, nil
+	}
+	tech, hooks := desc.Build(n, env)
+	return tech, hooks, nil
+}
+
+// BuildTechnique resolves spec's technique section exactly as Execute
+// does — registry defaulting, validation, envelope from the power model —
+// and returns the constructed adapter without running a simulation. It
+// serves drivers that feed the simulator from an external instruction
+// source (e.g. a recorded trace) and so cannot go through Execute. A nil
+// Technique means the base machine.
+func BuildTechnique(spec Spec) (sim.Technique, TraceHooks, error) {
+	n, desc, err := spec.normalized()
+	if err != nil {
+		return nil, TraceHooks{}, err
+	}
+	return buildTechnique(&n, desc)
 }

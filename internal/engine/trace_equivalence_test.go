@@ -54,7 +54,7 @@ func execWithGenerator(t *testing.T, spec Spec) (sim.Result, []sim.TracePoint) {
 			prev(tp)
 		}
 	}
-	n, err := spec.normalized()
+	n, _, err := spec.normalized()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tuning"
-	"repro/internal/workload"
 )
 
 // AblationRow is one variant of one ablation study.
@@ -52,7 +52,8 @@ type ablationVariant struct {
 //   - current-sensor resolution exact / 1 A / 8 A;
 //   - Heun vs forward-Euler circuit integration accuracy.
 func Ablations(opts Options) (Report, error) {
-	base, err := runAblationSuite(opts, nil, 0)
+	eng := opts.engine()
+	base, err := runAblationSuite(eng, opts, nil, 0)
 	if err != nil {
 		return Report{}, err
 	}
@@ -81,7 +82,7 @@ func Ablations(opts Options) (Report, error) {
 		if v.mutate != nil {
 			v.mutate(&cfg)
 		}
-		results, err := runAblationSuite(opts, &cfg, v.sensorRes)
+		results, err := runAblationSuite(eng, opts, &cfg, v.sensorRes)
 		if err != nil {
 			return Report{}, fmt.Errorf("ablation %s/%s: %w", v.study, v.name, err)
 		}
@@ -119,31 +120,18 @@ func Ablations(opts Options) (Report, error) {
 }
 
 // runAblationSuite runs the ablation subset under one tuning variant
-// (nil = uncontrolled base) with the given sensor resolution.
-func runAblationSuite(opts Options, cfg *tuning.Config, sensorRes float64) ([]sim.Result, error) {
-	var out []sim.Result
-	for _, name := range ablationApps {
-		app, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		scfg := sim.DefaultConfig()
-		scfg.SensorResolutionAmps = sensorRes
-		gen := workload.NewGenerator(app.Params, opts.instructions())
-		var tech sim.Technique
-		techName := "base"
-		if cfg != nil {
-			rt := sim.NewResonanceTuning(*cfg)
-			tech = rt
-			techName = rt.Name()
-		}
-		s, err := sim.New(scfg, gen, tech)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s.Run(name, techName))
+// (nil = uncontrolled base) with the given sensor resolution, through
+// the engine's worker pool and cache.
+func runAblationSuite(eng *engine.Engine, opts Options, cfg *tuning.Config, sensorRes float64) ([]sim.Result, error) {
+	scfg := sim.DefaultConfig()
+	scfg.SensorResolutionAmps = sensorRes
+	spec := engine.Spec{System: &scfg}
+	if cfg != nil {
+		c := *cfg
+		spec.Technique = engine.TechniqueTuning
+		spec.Tuning = &c
 	}
-	return out, nil
+	return runApps(eng, opts, spec, ablationApps)
 }
 
 // integratorWorstError measures the worst deviation error of the given

@@ -18,9 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/circuit"
-	"repro/internal/cpu"
 	"repro/internal/engine"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/tuning"
 	"repro/internal/workload"
@@ -122,54 +120,32 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
 }
 
-// techFactory builds a fresh technique instance for one application run;
-// nil factories mean the uncontrolled base processor. The power model is
-// provided so techniques can derive phantom-fire and mid-level currents.
-// It remains for experiments exercising techniques the engine's Spec
-// cannot express (the related-work controllers); everything else goes
-// through the engine.
-type techFactory func(app workload.App, pwr *power.Model) sim.Technique
-
 // runSuite simulates every Table 2 application under the technique
 // configuration carried by spec (App and Instructions are filled in per
 // application), through the engine's worker pool and cache, returning
 // results in Table 2 application order.
 func runSuite(eng *engine.Engine, opts Options, spec engine.Spec) ([]sim.Result, error) {
 	apps := workload.Apps()
-	specs := make([]engine.Spec, len(apps))
+	names := make([]string, len(apps))
 	for i, app := range apps {
+		names[i] = app.Params.Name
+	}
+	return runApps(eng, opts, spec, names)
+}
+
+// runApps simulates the named applications under the technique
+// configuration carried by spec (App and Instructions are filled in per
+// application), through the engine's worker pool and cache, returning
+// results in the given order.
+func runApps(eng *engine.Engine, opts Options, spec engine.Spec, apps []string) ([]sim.Result, error) {
+	specs := make([]engine.Spec, len(apps))
+	for i, name := range apps {
 		s := spec
-		s.App = app.Params.Name
+		s.App = name
 		s.Instructions = opts.instructions()
 		specs[i] = s
 	}
 	return eng.RunAll(context.Background(), specs, nil)
-}
-
-// runOne simulates a single application.
-func runOne(opts Options, app workload.App, factory techFactory) (sim.Result, error) {
-	cfg := sim.DefaultConfig()
-	gen := workload.NewGenerator(app.Params, opts.instructions())
-	// Build a throwaway simulator first to obtain the power model the
-	// factory may need; the real simulator is constructed with the
-	// technique in place.
-	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	var tech sim.Technique
-	if factory != nil {
-		tech = factory(app, probe.Power())
-	}
-	s, err := sim.New(cfg, gen, tech)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	name := "base"
-	if tech != nil {
-		name = tech.Name()
-	}
-	return s.Run(app.Params.Name, name), nil
 }
 
 // paperTuningConfig is the evaluated resonance-tuning configuration of

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/tuning"
 	"repro/internal/workload"
@@ -42,25 +44,30 @@ func Fig4(opts Options) (Report, error) {
 	app.Params.Burst.EpisodeProb = 0.05
 
 	insts := opts.instructions()
-	gen := workload.NewGenerator(app.Params, insts)
 	cfg := sim.DefaultConfig()
-	s, err := sim.New(cfg, gen, nil)
-	if err != nil {
-		return Report{}, err
-	}
 	lo, hi := cfg.Supply.ResonanceBandCycles().HalfPeriods()
 	det := tuning.NewDetector(tuning.DetectorConfig{
 		HalfPeriodLo: lo, HalfPeriodHi: hi,
 		ThresholdAmps: 32, MaxRepetitionTolerance: 4,
 	})
 
+	// The run goes through the engine (a traced spec always simulates,
+	// but the result is cached for untraced consumers); the external
+	// detector rides along on the trace callback.
 	var trace []sim.TracePoint
-	s.SetTrace(func(tp sim.TracePoint) {
-		det.Step(tp.TotalAmps)
-		tp.EventCount = det.CountNow()
-		trace = append(trace, tp)
-	}, nil, nil)
-	s.Run("parser", "base")
+	spec := engine.Spec{
+		App:          "parser",
+		Workload:     &app.Params,
+		Instructions: insts,
+		Trace: func(tp sim.TracePoint) {
+			det.Step(tp.TotalAmps)
+			tp.EventCount = det.CountNow()
+			trace = append(trace, tp)
+		},
+	}
+	if _, err := opts.engine().Run(context.Background(), spec); err != nil {
+		return Report{}, err
+	}
 
 	margin := cfg.Supply.NoiseMarginVolts()
 	vi := -1

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tuning"
@@ -93,36 +95,43 @@ func LowFreq(opts Options) (Report, error) {
 		PhantomTargetAmps:        70,
 	}
 
-	run := func(tech sim.Technique, label string) (sim.Result, error) {
-		gen := workload.NewGenerator(app, opts.instructions())
-		s, err := sim.New(cfg, gen, tech)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run("lowosc", label), nil
+	// All three runs go through the cached engine; the row labels are
+	// the experiment's own (the cached Result carries the technique's
+	// canonical name, e.g. "resonance-tuning" for the medium-only row).
+	eng := opts.engine()
+	dualCfg := engine.DualBandConfig{Medium: mediumCfg, Low: lowCfg, DecimationFactor: factor}
+	template := engine.Spec{Workload: &app, System: &cfg, Instructions: opts.instructions()}
+	rows := []struct {
+		label string
+		spec  engine.Spec
+	}{
+		{"base", template},
+		{"medium-only", template},
+		{"dual-band", template},
 	}
+	rows[1].spec.Technique = engine.TechniqueTuning
+	rows[1].spec.Tuning = &mediumCfg
+	rows[2].spec.Technique = engine.TechniqueDualBand
+	rows[2].spec.DualBand = &dualCfg
 
-	base, err := run(nil, "base")
+	specs := make([]engine.Spec, len(rows))
+	for i, r := range rows {
+		specs[i] = r.spec
+	}
+	results, err := eng.RunAll(context.Background(), specs, nil)
 	if err != nil {
 		return Report{}, err
 	}
-	medOnly, err := run(sim.NewResonanceTuning(mediumCfg), "medium-only")
-	if err != nil {
-		return Report{}, err
-	}
-	dual, err := run(sim.NewDualBandTuning(mediumCfg, lowCfg, factor), "dual-band")
-	if err != nil {
-		return Report{}, err
-	}
+	base := results[0]
 
 	data := &LowFreqData{LowPeak: lowPeak, MediumPeak: medPeak}
-	for _, r := range []sim.Result{base, medOnly, dual} {
+	for i, r := range results {
 		slow := 1.0
 		if base.Cycles > 0 {
 			slow = float64(r.Cycles) / float64(base.Cycles)
 		}
 		data.Rows = append(data.Rows, LowFreqRow{
-			Technique:  r.Technique,
+			Technique:  rows[i].label,
 			Violations: r.Violations,
 			Slowdown:   slow,
 			Cycles:     r.Cycles,

@@ -5,14 +5,10 @@ import (
 	"strings"
 
 	"repro/internal/baselines/convctl"
-	"repro/internal/baselines/damping"
 	"repro/internal/baselines/voltctl"
-	"repro/internal/baselines/wavelet"
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/metrics"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // RelatedRow is one technique's summary in the related-work comparison.
@@ -37,46 +33,46 @@ type RelatedData struct {
 // This goes beyond the paper's own evaluation (which covers [10] and
 // [14]) by also implementing the two schemes it discusses qualitatively.
 func Related(opts Options) (Report, error) {
-	base, err := runRelatedSuite(opts, nil)
+	eng := opts.engine()
+	base, err := runApps(eng, opts, engine.Spec{}, ablationApps)
 	if err != nil {
 		return Report{}, err
 	}
 	data := &RelatedData{}
 
 	supply := circuit.Table1()
+	// Every technique is an engine Spec: construction, phantom-fire and
+	// mid-level current derivation, the worker pool, and the result
+	// cache are all the engine's.
+	paperCfg := paperTuningConfig(100, 0)
+	paperCfg.PhantomTargetAmps = 0 // resolved to the mid current level
+	voltCfg := voltctl.Config{
+		TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010,
+		SensorDelayCycles: 5, Seed: 777,
+	}
+	dampCfg := engine.DampingConfig{WindowCycles: 50, DeltaAmps: 16, Scale: dampingScale}
+	convPerfect := convctl.Config{Supply: supply}
+	convNoisy := convctl.Config{Supply: supply, EstimateErrorAmps: 10, Seed: 99}
 	techs := []struct {
-		name  string
-		build func(pwrFire, pwrMid float64) sim.Technique
+		name string
+		spec engine.Spec
 	}{
-		{"resonance tuning (paper)", func(_, mid float64) sim.Technique {
-			cfg := paperTuningConfig(100, 0)
-			cfg.PhantomTargetAmps = mid
-			return sim.NewResonanceTuning(cfg)
-		}},
-		{"voltage control [10] (20mV/10mV/5cyc)", func(fire, _ float64) sim.Technique {
-			return sim.NewVoltageControl(voltctl.Config{
-				TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010,
-				SensorDelayCycles: 5, Seed: 777,
-			}, fire)
-		}},
-		{"pipeline damping [14] (δ=0.5×threshold)", func(_, _ float64) sim.Technique {
-			return sim.NewDamping(damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: dampingScale})
-		}},
-		{"convolution control [8], perfect estimates", func(fire, _ float64) sim.Technique {
-			return sim.NewConvolutionControl(convctl.Config{Supply: supply}, fire)
-		}},
-		{"convolution control [8], ±10 A estimate error", func(fire, _ float64) sim.Technique {
-			return sim.NewConvolutionControl(convctl.Config{
-				Supply: supply, EstimateErrorAmps: 10, Seed: 99,
-			}, fire)
-		}},
-		{"wavelet detector [11]-style", func(_, _ float64) sim.Technique {
-			return sim.NewWaveletControl(wavelet.Config{})
-		}},
+		{"resonance tuning (paper)",
+			engine.Spec{Technique: engine.TechniqueTuning, Tuning: &paperCfg}},
+		{"voltage control [10] (20mV/10mV/5cyc)",
+			engine.Spec{Technique: engine.TechniqueVoltageControl, VoltageControl: &voltCfg}},
+		{"pipeline damping [14] (δ=0.5×threshold)",
+			engine.Spec{Technique: engine.TechniqueDamping, Damping: &dampCfg}},
+		{"convolution control [8], perfect estimates",
+			engine.Spec{Technique: engine.TechniqueConvolution, Convolution: &convPerfect}},
+		{"convolution control [8], ±10 A estimate error",
+			engine.Spec{Technique: engine.TechniqueConvolution, Convolution: &convNoisy}},
+		{"wavelet detector [11]-style",
+			engine.Spec{Technique: engine.TechniqueWavelet}},
 	}
 
 	for _, tc := range techs {
-		results, err := runRelatedSuite(opts, tc.build)
+		results, err := runApps(eng, opts, tc.spec, ablationApps)
 		if err != nil {
 			return Report{}, fmt.Errorf("related: %s: %w", tc.name, err)
 		}
@@ -116,27 +112,4 @@ func Related(opts Options) (Report, error) {
 		"scales approximate the band more coarsely than resonance tuning's\n" +
 		"per-half-period adders and pay roughly [10]-like costs.\n")
 	return Report{ID: "related", Text: b.String(), Data: data}, nil
-}
-
-// runRelatedSuite runs the ablation subset under one technique builder.
-func runRelatedSuite(opts Options, build func(fire, mid float64) sim.Technique) ([]sim.Result, error) {
-	var out []sim.Result
-	for _, name := range ablationApps {
-		app, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		var factory techFactory
-		if build != nil {
-			factory = func(a workload.App, pwr *power.Model) sim.Technique {
-				return build(pwr.PhantomFireAmps(), pwr.MidAmps())
-			}
-		}
-		r, err := runOne(opts, app, factory)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
 }

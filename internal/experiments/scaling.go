@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tuning"
@@ -49,11 +51,12 @@ type ScalingData struct {
 // calibration, detector band, and a workload oscillating in its band.
 func Scaling(opts Options) (Report, error) {
 	data := &ScalingData{}
+	eng := opts.engine()
 	for _, k := range []float64{0.5, 1, 2} { // (L,C) → (kL,kC): f0 = 200, 100, 50 MHz
 		supply := circuit.Table1()
 		supply.L *= k
 		supply.C *= k
-		row, err := runScalingPoint(opts, supply)
+		row, err := runScalingPoint(eng, opts, supply)
 		if err != nil {
 			return Report{}, fmt.Errorf("scaling: f0=%.0f MHz: %w", supply.ResonantFrequency()/1e6, err)
 		}
@@ -91,8 +94,8 @@ func Scaling(opts Options) (Report, error) {
 
 // runScalingPoint calibrates one supply, builds an in-band oscillating
 // workload and the matching tuning configuration, and measures base vs
-// tuned behaviour.
-func runScalingPoint(opts Options, supply circuit.Params) (ScalingRow, error) {
+// tuned behaviour through the cached engine.
+func runScalingPoint(eng *engine.Engine, opts Options, supply circuit.Params) (ScalingRow, error) {
 	chars, err := supply.Characterize()
 	if err != nil {
 		return ScalingRow{}, err
@@ -164,22 +167,15 @@ func runScalingPoint(opts Options, supply circuit.Params) (ScalingRow, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Supply = supply
 
-	run := func(tech sim.Technique, label string) (sim.Result, error) {
-		gen := workload.NewGenerator(app, opts.instructions())
-		s, err := sim.New(cfg, gen, tech)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		return s.Run("scaleosc", label), nil
-	}
-	base, err := run(nil, "base")
+	template := engine.Spec{Workload: &app, System: &cfg, Instructions: opts.instructions()}
+	tunedSpec := template
+	tunedSpec.Technique = engine.TechniqueTuning
+	tunedSpec.Tuning = &tcfg
+	results, err := eng.RunAll(context.Background(), []engine.Spec{template, tunedSpec}, nil)
 	if err != nil {
 		return ScalingRow{}, err
 	}
-	tuned, err := run(sim.NewResonanceTuning(tcfg), "tuning")
-	if err != nil {
-		return ScalingRow{}, err
-	}
+	base, tuned := results[0], results[1]
 	rels, err := metrics.Compare([]sim.Result{base}, []sim.Result{tuned})
 	if err != nil {
 		return ScalingRow{}, err

@@ -37,8 +37,10 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/damping"
 	"repro/internal/baselines/voltctl"
+	"repro/internal/baselines/wavelet"
 	"repro/internal/circuit"
 	"repro/internal/cpu"
 	"repro/internal/engine"
@@ -73,6 +75,12 @@ type (
 	VoltageControlConfig = voltctl.Config
 	// DampingConfig parameterises pipeline damping [14].
 	DampingConfig = damping.Config
+	// ConvolutionConfig parameterises the convolution predictor [8].
+	ConvolutionConfig = convctl.Config
+	// WaveletConfig parameterises the Haar-wavelet detector [11].
+	WaveletConfig = wavelet.Config
+	// DualBandConfig parameterises dual-band resonance tuning (§2.2).
+	DualBandConfig = engine.DualBandConfig
 	// App is one synthetic SPEC2K application model.
 	App = workload.App
 	// Options tunes experiment execution.
@@ -120,7 +128,18 @@ const (
 	TechniqueVoltageControl = engine.TechniqueVoltageControl
 	// TechniqueDamping is pipeline damping [14].
 	TechniqueDamping = engine.TechniqueDamping
+	// TechniqueConvolution is the convolution-based predictor of [8].
+	TechniqueConvolution = engine.TechniqueConvolution
+	// TechniqueWavelet is the Haar-wavelet detector in the spirit of [11].
+	TechniqueWavelet = engine.TechniqueWavelet
+	// TechniqueDualBand is Section 2.2's dual-band resonance tuning.
+	TechniqueDualBand = engine.TechniqueDualBand
 )
+
+// TechniqueKinds returns every registered technique kind, in the
+// registry's canonical order (base first, then the paper's technique,
+// then the related-work baselines).
+func TechniqueKinds() []TechniqueKind { return engine.Kinds() }
 
 // SimulationSpec describes one run for Simulate. It is the engine's Spec:
 // batch drivers hand the same value to Engine.RunAll / Engine.Grid to run
@@ -227,28 +246,15 @@ func ReplayWorkload(r io.Reader, kind TechniqueKind) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := sim.DefaultConfig()
-	probe, err := sim.New(cfg, cpu.NewSliceSource(nil), nil)
+	// The technique is constructed through the engine's registry — the
+	// same defaulting, validation, and power-model envelope as Simulate —
+	// so every registered kind (including the related-work baselines)
+	// replays without a bespoke construction path here.
+	tech, _, err := engine.BuildTechnique(engine.Spec{Technique: kind})
 	if err != nil {
 		return Result{}, err
 	}
-	var tech sim.Technique
-	switch kind {
-	case TechniqueNone, "":
-	case TechniqueTuning:
-		tc := DefaultTuningConfig(100)
-		tc.PhantomTargetAmps = probe.Power().MidAmps()
-		tech = sim.NewResonanceTuning(tc)
-	case TechniqueVoltageControl:
-		tech = sim.NewVoltageControl(voltctl.Config{
-			TargetThresholdVolts: 0.020, SensorNoiseVolts: 0.010, SensorDelayCycles: 5, Seed: 777,
-		}, probe.Power().PhantomFireAmps())
-	case TechniqueDamping:
-		tech = sim.NewDamping(damping.Config{WindowCycles: 50, DeltaAmps: 16, Scale: 0.5})
-	default:
-		return Result{}, fmt.Errorf("resonance: unknown technique %q", kind)
-	}
-	s, err := sim.New(cfg, rd, tech)
+	s, err := sim.New(sim.DefaultConfig(), rd, tech)
 	if err != nil {
 		return Result{}, err
 	}
