@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/cpu"
+	"repro/internal/engine/batchkernel"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/tuning"
@@ -211,6 +212,22 @@ func BenchmarkPowerStep(b *testing.B) {
 	}
 }
 
+// BenchmarkPowerStepUnmemoized measures the same accounting cycle with
+// the deposit memo bypassed (an activity field too wide for the memo
+// key), isolating what the memoization in BenchmarkPowerStep saves.
+func BenchmarkPowerStepUnmemoized(b *testing.B) {
+	m := power.New(power.DefaultConfig(), cpu.DefaultConfig())
+	var act cpu.Activity
+	act.Fetched, act.Dispatched, act.Committed = 99, 8, 8 // 99 clamps to FetchWidth but defeats the memo key
+	act.Issued[cpu.IntALU] = 6
+	act.IssuedTotal = 6
+	act.L1D = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Step(&act, 0)
+	}
+}
+
 // BenchmarkStepCycle measures one fully coupled system cycle
 // (core + power + supply + sensing + resonance tuning) — the unit every
 // experiment's wall time is a multiple of.
@@ -228,6 +245,39 @@ func BenchmarkStepCycle(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.StepCycle()
+	}
+}
+
+// BenchmarkBatchKernelLockstep measures the lockstep kernel stepping a
+// full seven-lane group — base machine plus the six Table 3 resonance
+// tuning variants — over a quiet application whose lanes never diverge:
+// the batch packer's best case, one machine step serving seven
+// simulations. Compare against 7× BenchmarkStepCycle-style scalar runs.
+func BenchmarkBatchKernelLockstep(b *testing.B) {
+	app, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const insts = 60_000
+	tr := workload.Materialize(app.Params, insts)
+	inis := []int{75, 100, 125, 150, 200, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(sim.DefaultConfig(), tr.Source())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lanes := make([]batchkernel.Lane, 1, 1+len(inis))
+		for _, ini := range inis {
+			cfg := DefaultTuningConfig(ini)
+			lanes = append(lanes, batchkernel.Lane{Tech: sim.NewResonanceTuning(cfg)})
+		}
+		outs := batchkernel.Run(m, "gzip", lanes)
+		for j := range outs {
+			if outs[j].Status == batchkernel.Failed {
+				b.Fatalf("lane %d failed: %v", j, outs[j].Err)
+			}
+		}
 	}
 }
 

@@ -68,6 +68,10 @@ type robEntry struct {
 type Core struct {
 	cfg Config
 	src Source
+	// bulk is src's BulkSource extension when it has one (materialized
+	// traces do), letting fetch fill the queue without per-instruction
+	// interface calls.
+	bulk BulkSource
 
 	cycle   uint64
 	seqNext uint64 // sequence number of the next dispatched instruction
@@ -91,6 +95,10 @@ type Core struct {
 
 	// unitCap caches Config.units per class for the select loop.
 	unitCap [NumClasses]int
+	// classLat and memLat cache Config.latency's answers so the issue
+	// loop is a table load instead of a two-level switch.
+	classLat [NumClasses]uint64
+	memLat   [3]uint64
 
 	fq      []Inst // fetch queue ring
 	fqHead  int
@@ -144,11 +152,18 @@ func New(cfg Config, src Source) *Core {
 		wheelMask: uint64(wheelLen - 1),
 		fq:        make([]Inst, cfg.FetchQueue),
 	}
+	if b, ok := src.(BulkSource); ok {
+		c.bulk = b
+	}
 	for i := range c.wheel {
 		c.wheel[i] = noLink
 	}
 	for cl := Class(0); cl < NumClasses; cl++ {
 		c.unitCap[cl] = cfg.units(cl)
+		c.classLat[cl] = uint64(cfg.latency(Inst{Class: cl}))
+	}
+	for _, lvl := range []MemLevel{MemL1, MemL2, MemMain} {
+		c.memLat[lvl] = uint64(cfg.latency(Inst{Class: Load, Mem: lvl}))
 	}
 	return c
 }
@@ -341,7 +356,11 @@ func (c *Core) issue(act *Activity, t *Throttle, ports int, portsUsed *int) {
 				c.countMemAccess(act, e.inst.Mem)
 			}
 			e.state = stExec
-			e.doneAt = c.cycle + uint64(c.cfg.latency(e.inst))
+			lat := c.classLat[cl]
+			if cl == Load {
+				lat = c.memLat[e.inst.Mem]
+			}
+			e.doneAt = c.cycle + lat
 			wb := &c.wheel[e.doneAt&c.wheelMask]
 			e.wheelNext = *wb
 			*wb = int32(slot)
@@ -458,6 +477,39 @@ func (c *Core) linkOperand(e *robEntry, slot, op int, seq uint64, dist uint16) i
 
 func (c *Core) fetch(act *Activity, t Throttle) {
 	if t.StallFetch || c.srcDone || c.frontendBlocked() {
+		return
+	}
+	if c.bulk != nil {
+		// The scalar loop below pulls exactly min(width-room) instructions
+		// unless the stream ends first, so the whole fetch is one or two
+		// contiguous ring fills. A short delivery is exactly the condition
+		// under which the scalar loop would have seen ok=false.
+		want := c.cfg.FetchWidth - act.Fetched
+		if room := c.cfg.FetchQueue - c.fqCount; room < want {
+			want = room
+		}
+		if want <= 0 {
+			return
+		}
+		tail := c.fqHead + c.fqCount
+		if tail >= c.cfg.FetchQueue {
+			tail -= c.cfg.FetchQueue
+		}
+		n1 := want
+		if wrap := c.cfg.FetchQueue - tail; n1 > wrap {
+			n1 = wrap
+		}
+		got := c.bulk.NextN(c.fq[tail : tail+n1])
+		if got == n1 && want > n1 {
+			got += c.bulk.NextN(c.fq[:want-n1])
+		}
+		if got < want {
+			c.srcDone = true
+		}
+		c.fqCount += got
+		c.fetchedN += uint64(got)
+		act.Fetched += got
+		act.L1I += got
 		return
 	}
 	for act.Fetched < c.cfg.FetchWidth && c.fqCount < c.cfg.FetchQueue {

@@ -97,6 +97,17 @@ type Source interface {
 	Next() (inst Inst, ok bool)
 }
 
+// BulkSource is an optional Source extension that delivers a run of
+// instructions in one call, letting the core's fetch stage fill its
+// queue without a per-instruction interface call. A short delivery
+// (fewer than len(dst)) means the stream is exhausted.
+type BulkSource interface {
+	Source
+	// NextN fills dst with up to len(dst) instructions and returns how
+	// many were delivered.
+	NextN(dst []Inst) int
+}
+
 // SliceSource adapts a fixed instruction slice to the Source interface.
 // It is mainly useful in tests.
 type SliceSource struct {

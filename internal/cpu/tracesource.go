@@ -75,6 +75,34 @@ func (t *TraceSource) Next() (Inst, bool) {
 	}, true
 }
 
+// NextN implements BulkSource: it decodes a run of up to len(dst)
+// instructions with plain slice indexing, no per-instruction interface
+// dispatch. The decoded instructions are identical to len(dst)
+// consecutive Next calls.
+func (t *TraceSource) NextN(dst []Inst) int {
+	i := t.pos
+	n := len(t.meta) - i
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	meta, src1, src2 := t.meta[i:i+n], t.src1[i:i+n], t.src2[i:i+n]
+	for k := 0; k < n; k++ {
+		m := meta[k]
+		dst[k] = Inst{
+			Class:        Class(m & metaClassMask),
+			Mem:          MemLevel(m >> metaMemShift & metaMemMask),
+			Mispredicted: m&metaMispredict != 0,
+			SrcDist1:     src1[k],
+			SrcDist2:     src2[k],
+		}
+	}
+	t.pos = i + n
+	return n
+}
+
 // Len returns the number of instructions in the trace.
 func (t *TraceSource) Len() int { return len(t.meta) }
 

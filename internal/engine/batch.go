@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/engine/batchkernel"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MachineKey returns the content key of the technique-independent half
+// of the spec: the application stream, the run length, and the simulated
+// system, with the technique and every technique section stripped. Two
+// specs with equal MachineKeys simulate identical machines over
+// identical instruction streams — the compatibility predicate the batch
+// packer groups lanes by.
+func (s Spec) MachineKey() (Key, error) {
+	m := s
+	m.Technique = TechniqueNone
+	clearSections(&m)
+	m.Trace = nil
+	return m.Key()
+}
+
+// laneGroup is one packed work item: the indices (into the batch's spec
+// slice) of the specs sharing a machine. A group of one runs scalar.
+type laneGroup struct {
+	indices []int
+}
+
+// packGroups partitions the given spec indices into lane groups by
+// MachineKey. Every index appears in exactly one group; specs that
+// cannot be keyed (invalid technique) and traced specs become singleton
+// groups, since a traced run must go through the scalar path's
+// always-simulate semantics. Group order follows first appearance, and
+// indices within a group stay in caller order, so packing is
+// deterministic.
+func packGroups(specs []Spec, indices []int) []laneGroup {
+	byKey := make(map[Key]int) // machine key -> position in groups
+	var groups []laneGroup
+	for _, i := range indices {
+		if specs[i].Trace != nil {
+			groups = append(groups, laneGroup{indices: []int{i}})
+			continue
+		}
+		mk, err := specs[i].MachineKey()
+		if err != nil {
+			groups = append(groups, laneGroup{indices: []int{i}})
+			continue
+		}
+		if g, ok := byKey[mk]; ok {
+			groups[g].indices = append(groups[g].indices, i)
+			continue
+		}
+		byKey[mk] = len(groups)
+		groups = append(groups, laneGroup{indices: []int{i}})
+	}
+	return groups
+}
+
+// runGroup executes one multi-lane group through the lockstep kernel,
+// re-running diverged lanes on the scalar path, and reports every spec
+// through finish exactly once. Lanes that cannot even be built fall back
+// to scalar execution for a properly attributed error. memo receives the
+// group machine's power-memoization counters.
+func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int, res sim.Result, err error), memo func(power.MemoStats)) {
+	scalar := func(indices []int) {
+		for _, i := range indices {
+			if err := ctx.Err(); err != nil {
+				finish(i, sim.Result{}, err)
+				continue
+			}
+			res, st, err := executeMeasured(specs[i])
+			memo(st)
+			finish(i, res, err)
+		}
+	}
+	if len(g.indices) < 2 {
+		scalar(g.indices)
+		return
+	}
+
+	// Build the shared machine from the first lane's normalized spec;
+	// every lane in the group resolves to the same machine by MachineKey
+	// equality.
+	n0, _, err := specs[g.indices[0]].normalized()
+	if err != nil {
+		scalar(g.indices)
+		return
+	}
+	params := workload.Params{}
+	if n0.Workload != nil {
+		params = *n0.Workload
+		if err := params.Validate(); err != nil {
+			scalar(g.indices)
+			return
+		}
+	} else {
+		app, err := workload.ByName(n0.App)
+		if err != nil {
+			scalar(g.indices)
+			return
+		}
+		params = app.Params
+	}
+	lanes := make([]batchkernel.Lane, 0, len(g.indices))
+	laneIdx := make([]int, 0, len(g.indices))
+	for _, i := range g.indices {
+		ni, desc, err := specs[i].normalized()
+		if err != nil {
+			finish(i, sim.Result{}, err)
+			continue
+		}
+		tech, _, err := buildTechnique(&ni, desc)
+		if err != nil {
+			finish(i, sim.Result{}, err)
+			continue
+		}
+		name := string(TechniqueNone)
+		if tech != nil {
+			name = tech.Name()
+		}
+		lanes = append(lanes, batchkernel.Lane{Tech: tech, TechName: name})
+		laneIdx = append(laneIdx, i)
+	}
+	if len(lanes) == 0 {
+		return
+	}
+	src := workload.SharedTraces().Source(params, n0.Instructions)
+	m, err := sim.NewMachine(*n0.System, src)
+	if err != nil {
+		// The machine config is invalid: the scalar path produces the
+		// same, properly attributed error per lane.
+		scalar(laneIdx)
+		return
+	}
+	outcomes := batchkernel.Run(m, n0.App, lanes)
+	memo(m.Power().MemoStats())
+	var rerun []int
+	for li, out := range outcomes {
+		switch out.Status {
+		case batchkernel.Finished:
+			finish(laneIdx[li], out.Result, nil)
+		case batchkernel.Failed:
+			finish(laneIdx[li], sim.Result{}, out.Err)
+		default: // Diverged: this lane's trajectory left the group's
+			rerun = append(rerun, laneIdx[li])
+		}
+	}
+	scalar(rerun)
+}

@@ -1,0 +1,305 @@
+package engine
+
+// The differential harness pinning the batch kernel to the scalar core.
+//
+// The scalar loop (sim.Simulator) is the frozen reference, in the style
+// of internal/cpu/scanref_test.go: every lane of a lockstep group must
+// observe, cycle for cycle, bit-identical Observations (including the
+// full cpu.Activity) and TracePoints to a scalar run of the same spec.
+// Lanes that survive to the end must also produce an identical Result;
+// lanes removed as Diverged must have observed exactly the scalar run's
+// prefix up to the divergence cycle (the engine re-runs them scalar, so
+// prefix identity is what makes the fallback sound).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/engine/batchkernel"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// cycleRecord is one cycle as a technique saw it: the Observation with
+// the Activity buffer flattened into a value copy.
+type cycleRecord struct {
+	obs sim.Observation
+	act cpu.Activity
+}
+
+// recordingTech wraps a Technique (nil for the base machine), recording
+// every Observation it is shown while delegating control decisions.
+type recordingTech struct {
+	inner sim.Technique
+	recs  []cycleRecord
+}
+
+func (r *recordingTech) Name() string {
+	if r.inner == nil {
+		return string(TechniqueNone)
+	}
+	return r.inner.Name()
+}
+
+func (r *recordingTech) Next() (cpu.Throttle, sim.Phantom) {
+	if r.inner == nil {
+		return cpu.Unlimited, sim.Phantom{}
+	}
+	return r.inner.Next()
+}
+
+func (r *recordingTech) Observe(obs *sim.Observation) {
+	rec := cycleRecord{obs: *obs, act: *obs.Activity}
+	rec.obs.Activity = nil
+	r.recs = append(r.recs, rec)
+	if r.inner != nil {
+		r.inner.Observe(obs)
+	}
+}
+
+// diffCase is one (system config, workload) cell of the matrix.
+type diffCase struct {
+	name   string
+	system *sim.Config
+	params workload.Params
+	insts  uint64
+}
+
+// diffMatrix builds the config × seed grid: three distinct system
+// configurations and four seeds each, over a mix that reliably exercises
+// both quiet runs (techniques never fire: lanes survive the whole
+// stream) and loud ones (techniques respond and diverge: prefix checks).
+func diffMatrix(t *testing.T) []diffCase {
+	t.Helper()
+	app, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoStage := sim.DefaultConfig()
+	ts := circuit.Table1TwoStage()
+	twoStage.TwoStageSupply = &ts
+	twoStage.SensorDelayCycles = 2
+	quantized := sim.DefaultConfig()
+	quantized.SensorResolutionAmps = 2
+	quantized.MaxCycles = 4000
+
+	var cases []diffCase
+	for _, sys := range []struct {
+		name string
+		cfg  *sim.Config
+	}{
+		{"default", nil},
+		{"twostage-delay2", &twoStage},
+		{"quantized-capped", &quantized},
+	} {
+		for _, seed := range []uint64{1, 7, 1001, 424242} {
+			p := app.Params
+			p.Seed = seed
+			cases = append(cases, diffCase{
+				name:   fmt.Sprintf("%s/seed%d", sys.name, seed),
+				system: sys.cfg,
+				params: p,
+				insts:  5000,
+			})
+		}
+	}
+	return cases
+}
+
+// scalarReference runs spec through the frozen scalar Simulator,
+// returning the per-cycle records, trace points, and final Result.
+func scalarReference(t *testing.T, spec Spec) ([]cycleRecord, []sim.TracePoint, sim.Result) {
+	t.Helper()
+	n, desc, err := spec.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech, hooks, err := buildTechnique(&n, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingTech{inner: tech}
+	src := workload.SharedTraces().Source(*n.Workload, n.Instructions)
+	s, err := sim.New(*n.System, src, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tps []sim.TracePoint
+	s.SetTrace(func(tp sim.TracePoint) { tps = append(tps, tp) }, hooks.EventCount, hooks.Level)
+	res := s.Run(n.App, rec.Name())
+	// The recorder is the Technique the scalar loop saw, so its stats
+	// (all zero) land in the result; re-derive them from the inner
+	// technique as the unwrapped run would.
+	res.Tech = sim.TechStatsOf(tech)
+	return rec.recs, tps, res
+}
+
+// batchedLanes runs all specs as one lockstep group, returning per-lane
+// records, trace points, and outcomes.
+func batchedLanes(t *testing.T, specs []Spec) ([][]cycleRecord, [][]sim.TracePoint, []batchkernel.Outcome) {
+	t.Helper()
+	n0, _, err := specs[0].normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*recordingTech, len(specs))
+	tps := make([][]sim.TracePoint, len(specs))
+	lanes := make([]batchkernel.Lane, len(specs))
+	for i := range specs {
+		ni, desc, err := specs[i].normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tech, hooks, err := buildTechnique(&ni, desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = &recordingTech{inner: tech}
+		li := i
+		lanes[i] = batchkernel.Lane{
+			Tech:       recs[i],
+			TechName:   recs[i].Name(),
+			Trace:      func(tp sim.TracePoint) { tps[li] = append(tps[li], tp) },
+			EventCount: hooks.EventCount,
+			Level:      hooks.Level,
+		}
+	}
+	src := workload.SharedTraces().Source(*n0.Workload, n0.Instructions)
+	m, err := sim.NewMachine(*n0.System, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := batchkernel.Run(m, n0.App, lanes)
+	out := make([][]cycleRecord, len(specs))
+	for i := range recs {
+		out[i] = recs[i].recs
+	}
+	return out, tps, outs
+}
+
+// kindSpecs returns one spec per registered technique kind over the
+// given cell, all sharing a MachineKey.
+func kindSpecs(c diffCase) []Spec {
+	kinds := Kinds()
+	specs := make([]Spec, len(kinds))
+	for i, k := range kinds {
+		p := c.params
+		specs[i] = Spec{
+			Workload:     &p,
+			Instructions: c.insts,
+			System:       c.system,
+			Technique:    k,
+		}
+	}
+	return specs
+}
+
+// TestBatchKernelMatchesScalarReference is the differential harness: all
+// seven registered technique kinds ride one lockstep group per
+// (config, seed) cell and every lane must be bit-identical to its scalar
+// reference run — the full stream for survivors, the exact prefix up to
+// the divergence cycle for diverged lanes.
+func TestBatchKernelMatchesScalarReference(t *testing.T) {
+	if len(Kinds()) != 7 {
+		t.Fatalf("expected 7 registered technique kinds, have %v", Kinds())
+	}
+	var finished, diverged int
+	for _, c := range diffMatrix(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			specs := kindSpecs(c)
+			bRecs, bTps, outs := batchedLanes(t, specs)
+			for i, spec := range specs {
+				sRecs, sTps, sRes := scalarReference(t, spec)
+				name := string(Kinds()[i])
+				switch outs[i].Status {
+				case batchkernel.Finished:
+					finished++
+					compareRecords(t, name, bRecs[i], sRecs, len(sRecs))
+					compareTraces(t, name, bTps[i], sTps, len(sTps))
+					if outs[i].Result != sRes {
+						t.Errorf("%s: batched result %+v != scalar %+v", name, outs[i].Result, sRes)
+					}
+				case batchkernel.Diverged:
+					diverged++
+					d := int(outs[i].DivergedAt)
+					if len(bRecs[i]) != d {
+						t.Errorf("%s: diverged at %d but observed %d cycles", name, d, len(bRecs[i]))
+					}
+					compareRecords(t, name, bRecs[i], sRecs, d)
+					compareTraces(t, name, bTps[i], sTps, d)
+				default:
+					t.Errorf("%s: unexpected outcome %v (%v)", name, outs[i].Status, outs[i].Err)
+				}
+			}
+		})
+	}
+	// The matrix must exercise both sides of the contract.
+	if finished == 0 || diverged == 0 {
+		t.Fatalf("matrix lacks coverage: %d finished, %d diverged lanes", finished, diverged)
+	}
+}
+
+// compareRecords asserts the first n per-cycle records agree bitwise.
+func compareRecords(t *testing.T, name string, got, want []cycleRecord, n int) {
+	t.Helper()
+	if len(got) < n || len(want) < n {
+		t.Errorf("%s: have %d batched / %d scalar records, need %d", name, len(got), len(want), n)
+		return
+	}
+	for cyc := 0; cyc < n; cyc++ {
+		if got[cyc] != want[cyc] {
+			t.Errorf("%s: cycle %d: batched %+v != scalar %+v", name, cyc, got[cyc], want[cyc])
+			return
+		}
+	}
+}
+
+// compareTraces asserts the first n trace points agree bitwise.
+func compareTraces(t *testing.T, name string, got, want []sim.TracePoint, n int) {
+	t.Helper()
+	if len(got) < n || len(want) < n {
+		t.Errorf("%s: have %d batched / %d scalar trace points, need %d", name, len(got), len(want), n)
+		return
+	}
+	for cyc := 0; cyc < n; cyc++ {
+		if got[cyc] != want[cyc] {
+			t.Errorf("%s: trace point %d: batched %+v != scalar %+v", name, cyc, got[cyc], want[cyc])
+			return
+		}
+	}
+}
+
+// TestRunAllBatchedMatchesExecute pins the engine's batch path end to
+// end: RunAll over a spec list that packs into multi-lane groups must
+// return exactly what spec-by-spec Execute returns.
+func TestRunAllBatchedMatchesExecute(t *testing.T) {
+	var specs []Spec
+	for _, seed := range []uint64{3, 99} {
+		for _, k := range Kinds() {
+			app, err := workload.ByName("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := app.Params
+			p.Seed = seed
+			specs = append(specs, Spec{Workload: &p, Instructions: 4000, Technique: k})
+		}
+	}
+	eng := New(Options{Parallelism: 2})
+	got, err := eng.RunAll(t.Context(), specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		want, err := Execute(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Errorf("spec %d (%s): batched %+v != scalar %+v", i, spec.Technique, got[i], want)
+		}
+	}
+}

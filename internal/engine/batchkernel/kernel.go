@@ -1,0 +1,235 @@
+// Package batchkernel steps K simulations in lockstep over one shared
+// machine. The engine's batch path packs specs whose technique-independent
+// halves are identical (same application stream, same simulated system —
+// see Spec.MachineKey) into the lanes of a group; per-lane state is kept
+// in parallel arrays (the lanes and their per-cycle decisions), while the
+// expensive machine state — core scheduler, power accumulators, supply
+// circuit — exists once per group.
+//
+// The kernel is speculative: each cycle every live lane's technique
+// decides its (throttle, phantom) pair, and as long as the decisions
+// agree the group advances with one machine step instead of K. A lane
+// whose decision differs from the leader's has, from that cycle on, a
+// genuinely different trajectory; it is marked Diverged *before* the
+// machine steps (so its observed prefix is exactly the scalar run's
+// prefix) and the caller re-runs it on the scalar path. Lanes that
+// survive to the end are bit-identical to their scalar runs by
+// induction: equal decisions every cycle mean the shared trajectory is
+// each lane's own. The scalar loop (sim.Simulator) stays frozen as the
+// differential reference; internal/engine's differential harness pins
+// the equivalence per cycle over every registered technique kind.
+package batchkernel
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Status classifies how a lane's lockstep run ended.
+type Status uint8
+
+// Lane outcomes.
+const (
+	// Finished lanes ran in lockstep to the end of the stream; their
+	// Result is bit-identical to a scalar run of the same spec.
+	Finished Status = iota
+	// Diverged lanes decided differently from their group leader at
+	// DivergedAt; no machine step was taken for them at that cycle, and
+	// the caller must re-run them on the scalar path.
+	Diverged
+	// Failed lanes panicked in their technique or trace callback; Err
+	// carries the recovered panic. The rest of the group is unaffected.
+	Failed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Finished:
+		return "finished"
+	case Diverged:
+		return "diverged"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Lane is one simulation sharing a group's machine: the technique (with
+// its own controller state) plus the optional per-cycle trace hooks,
+// mirroring sim.Simulator.SetTrace.
+type Lane struct {
+	// Tech decides the lane's per-cycle control; nil is the base
+	// (uncontrolled) machine.
+	Tech sim.Technique
+	// TechName labels the lane's Result; empty defaults to Tech.Name()
+	// (or "base" for a nil Tech).
+	TechName string
+	// Trace, when non-nil, receives the lane's per-cycle waveform.
+	Trace func(sim.TracePoint)
+	// EventCount and Level fill TracePoint's technique columns.
+	EventCount func() int
+	Level      func() int
+}
+
+// name returns the lane's result label.
+func (l *Lane) name() string {
+	if l.TechName != "" {
+		return l.TechName
+	}
+	if l.Tech != nil {
+		return l.Tech.Name()
+	}
+	return "base"
+}
+
+// next asks the lane's technique for its decision, converting a panic
+// into an error so one broken lane cannot take down the group.
+func (l *Lane) next() (th cpu.Throttle, ph sim.Phantom, err error) {
+	if l.Tech == nil {
+		return cpu.Unlimited, sim.Phantom{}, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batchkernel: technique %s panicked in Next: %v", l.name(), r)
+		}
+	}()
+	th, ph = l.Tech.Next()
+	return th, ph, nil
+}
+
+// observe delivers the cycle's observation and trace point to the lane,
+// converting a panic into an error.
+func (l *Lane) observe(obs *sim.Observation) (err error) {
+	if l.Tech == nil && l.Trace == nil {
+		return nil // nothing to deliver; skip the recover scaffolding
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batchkernel: technique %s panicked in Observe: %v", l.name(), r)
+		}
+	}()
+	if l.Tech != nil {
+		l.Tech.Observe(obs)
+	}
+	if l.Trace != nil {
+		tp := sim.TracePoint{Cycle: obs.Cycle, TotalAmps: obs.TotalAmps, DeviationVolts: obs.DeviationVolts}
+		if l.EventCount != nil {
+			tp.EventCount = l.EventCount()
+		}
+		if l.Level != nil {
+			tp.ResponseLevel = l.Level()
+		}
+		l.Trace(tp)
+	}
+	return nil
+}
+
+// Outcome describes how one lane ended.
+type Outcome struct {
+	Status Status
+	// DivergedAt is the cycle whose decision differed from the leader's
+	// (Diverged) or whose technique panicked (Failed). The lane observed
+	// every cycle before DivergedAt and none from it on.
+	DivergedAt uint64
+	// Err is the recovered panic of a Failed lane.
+	Err error
+	// Result is the lane's summary (Finished lanes only).
+	Result sim.Result
+}
+
+// decision is one lane's control output for a cycle. Comparability is
+// what makes lockstep checking one struct compare per lane per cycle.
+type decision struct {
+	th cpu.Throttle
+	ph sim.Phantom
+}
+
+// Run steps the shared machine with all lanes in lockstep until the
+// instruction stream drains (or the machine's cycle limit), removing
+// lanes that diverge from the group or fail, and returns one Outcome per
+// lane. appName labels the results. The leader — the first live lane —
+// drives the machine; when it is removed the next live lane is promoted.
+// Run consumes the machine: it must be freshly built and not shared.
+func Run(m *sim.Machine, appName string, lanes []Lane) []Outcome {
+	out := make([]Outcome, len(lanes))
+	live := make([]int, len(lanes))
+	for i := range lanes {
+		live[i] = i
+	}
+	decisions := make([]decision, len(lanes))
+	limit := m.CycleLimit()
+
+	for len(live) > 0 && !m.Done() && m.Cycles() < limit {
+		if len(live) == 1 {
+			// Sole survivor: no lockstep check to run, so skip the
+			// decision bookkeeping — this is the common state after the
+			// other lanes of a group diverge.
+			i := live[0]
+			th, ph, err := lanes[i].next()
+			if err != nil {
+				out[i] = Outcome{Status: Failed, DivergedAt: m.Cycles(), Err: err}
+				return out
+			}
+			obs := m.Step(th, ph)
+			if err := lanes[i].observe(obs); err != nil {
+				out[i] = Outcome{Status: Failed, DivergedAt: obs.Cycle, Err: err}
+				return out
+			}
+			continue
+		}
+		// Decide: every live lane's technique picks its control.
+		n := 0
+		for _, i := range live {
+			th, ph, err := lanes[i].next()
+			if err != nil {
+				out[i] = Outcome{Status: Failed, DivergedAt: m.Cycles(), Err: err}
+				continue
+			}
+			decisions[i] = decision{th: th, ph: ph}
+			live[n] = i
+			n++
+		}
+		live = live[:n]
+		if n == 0 {
+			break
+		}
+		// Check lockstep: followers whose decision differs from the
+		// leader's leave the group *before* the machine steps, so the
+		// trajectory they observed so far is exactly their scalar prefix.
+		lead := decisions[live[0]]
+		n = 1
+		for _, i := range live[1:] {
+			if decisions[i] != lead {
+				out[i] = Outcome{Status: Diverged, DivergedAt: m.Cycles()}
+				continue
+			}
+			live[n] = i
+			n++
+		}
+		live = live[:n]
+
+		// One machine step serves every surviving lane.
+		obs := m.Step(lead.th, lead.ph)
+
+		n = 0
+		for _, i := range live {
+			if err := lanes[i].observe(obs); err != nil {
+				out[i] = Outcome{Status: Failed, DivergedAt: obs.Cycle, Err: err}
+				continue
+			}
+			live[n] = i
+			n++
+		}
+		live = live[:n]
+	}
+
+	for _, i := range live {
+		res := m.Result(appName, lanes[i].name())
+		res.Tech = sim.TechStatsOf(lanes[i].Tech)
+		out[i] = Outcome{Status: Finished, Result: res}
+	}
+	return out
+}

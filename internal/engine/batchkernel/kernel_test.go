@@ -1,0 +1,253 @@
+package batchkernel_test
+
+// Lane-count edge cases for the lockstep kernel, each checked against a
+// fresh scalar run of the same scripted technique: K=1 (no lockstep
+// peers at all), K=5 (non-power-of-two, mixed divergence), K=9 (more
+// lanes than distinct behaviours, so duplicates must stay in lockstep
+// together), and a lane panicking mid-batch (the rest of the group must
+// finish and still match scalar).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/engine/batchkernel"
+	"repro/internal/sim"
+)
+
+// edgeInsts is the per-test instruction budget: long enough for several
+// hundred cycles, short enough to keep the matrix cheap.
+const edgeInsts = 2000
+
+// edgePattern is a small mixed stream with some latency variety.
+func edgePattern() []cpu.Inst {
+	return []cpu.Inst{
+		{Class: cpu.IntALU},
+		{Class: cpu.Load, Mem: cpu.MemL1, SrcDist1: 1},
+		{Class: cpu.FPMul, SrcDist1: 2},
+		{Class: cpu.IntALU, SrcDist1: 1},
+		{Class: cpu.Branch},
+		{Class: cpu.Load, Mem: cpu.MemL2},
+		{Class: cpu.FPALU, SrcDist1: 3},
+		{Class: cpu.Store, Mem: cpu.MemL1},
+	}
+}
+
+func edgeSource() cpu.Source {
+	return cpu.NewRepeatSource(edgePattern(), edgeInsts)
+}
+
+// scriptTech is a deterministic scripted technique: it runs unthrottled
+// except from cycle throttleFrom on, where it halves the issue width —
+// and optionally panics in Next at panicAt. Cycle position is driven by
+// Observe calls, exactly as for a real technique.
+type scriptTech struct {
+	name         string
+	throttleFrom uint64 // 0 = never throttle
+	panicAt      uint64 // 0 = never panic
+	cycle        uint64
+
+	recs []obsRecord
+}
+
+// obsRecord is one observed cycle with the Activity buffer flattened.
+type obsRecord struct {
+	obs sim.Observation
+	act cpu.Activity
+}
+
+func (s *scriptTech) Name() string { return s.name }
+
+func (s *scriptTech) Next() (cpu.Throttle, sim.Phantom) {
+	if s.panicAt != 0 && s.cycle >= s.panicAt {
+		panic("scripted panic")
+	}
+	if s.throttleFrom != 0 && s.cycle >= s.throttleFrom {
+		return cpu.Throttle{IssueWidth: 4, CachePorts: 1, IssueCurrentBudget: -1}, sim.Phantom{}
+	}
+	return cpu.Unlimited, sim.Phantom{}
+}
+
+func (s *scriptTech) Observe(obs *sim.Observation) {
+	rec := obsRecord{obs: *obs, act: *obs.Activity}
+	rec.obs.Activity = nil
+	s.recs = append(s.recs, rec)
+	s.cycle = obs.Cycle + 1
+}
+
+// clone returns a fresh technique with the same script and no state.
+func (s *scriptTech) clone() *scriptTech {
+	return &scriptTech{name: s.name, throttleFrom: s.throttleFrom, panicAt: s.panicAt}
+}
+
+// scalarRun replays one scripted lane on the frozen scalar Simulator.
+func scalarRun(t *testing.T, tech *scriptTech) ([]obsRecord, sim.Result) {
+	t.Helper()
+	var st sim.Technique
+	name := "base"
+	if tech != nil {
+		st = tech
+		name = tech.name
+	}
+	s, err := sim.New(sim.DefaultConfig(), edgeSource(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run("edge", name)
+	if tech == nil {
+		return nil, res
+	}
+	return tech.recs, res
+}
+
+// runGroup steps the given scripts as one lockstep group. A nil script
+// is the base (uncontrolled) lane.
+func runGroup(t *testing.T, scripts []*scriptTech) ([]*scriptTech, []batchkernel.Outcome) {
+	t.Helper()
+	m, err := sim.NewMachine(sim.DefaultConfig(), edgeSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := make([]batchkernel.Lane, len(scripts))
+	for i, sc := range scripts {
+		if sc != nil {
+			lanes[i] = batchkernel.Lane{Tech: sc, TechName: sc.name}
+		}
+	}
+	return scripts, batchkernel.Run(m, "edge", lanes)
+}
+
+// checkLane asserts a lane's outcome against its scalar reference:
+// Finished lanes must match the full scalar stream and Result; Diverged
+// lanes must have observed exactly the scalar prefix up to DivergedAt.
+func checkLane(t *testing.T, label string, sc *scriptTech, out batchkernel.Outcome, wantDiverged bool) {
+	t.Helper()
+	var ref *scriptTech
+	if sc != nil {
+		ref = sc.clone()
+	}
+	sRecs, sRes := scalarRun(t, ref)
+	switch {
+	case !wantDiverged && out.Status == batchkernel.Finished:
+		if sc != nil {
+			compareObs(t, label, sc.recs, sRecs, len(sRecs))
+		}
+		if out.Result != sRes {
+			t.Errorf("%s: batched result %+v != scalar %+v", label, out.Result, sRes)
+		}
+	case wantDiverged && out.Status == batchkernel.Diverged:
+		d := int(out.DivergedAt)
+		if len(sc.recs) != d {
+			t.Errorf("%s: diverged at %d but observed %d cycles", label, d, len(sc.recs))
+		}
+		compareObs(t, label, sc.recs, sRecs, d)
+	default:
+		t.Errorf("%s: outcome %v (divergedAt=%d err=%v), wantDiverged=%v",
+			label, out.Status, out.DivergedAt, out.Err, wantDiverged)
+	}
+}
+
+func compareObs(t *testing.T, label string, got, want []obsRecord, n int) {
+	t.Helper()
+	if len(got) < n || len(want) < n {
+		t.Errorf("%s: have %d batched / %d scalar records, need %d", label, len(got), len(want), n)
+		return
+	}
+	for c := 0; c < n; c++ {
+		if got[c] != want[c] {
+			t.Errorf("%s: cycle %d: batched %+v != scalar %+v", label, c, got[c], want[c])
+			return
+		}
+	}
+}
+
+// TestSingleLane runs K=1: no peers, no lockstep checks, and the result
+// must equal the scalar base run bit for bit.
+func TestSingleLane(t *testing.T) {
+	scripts, outs := runGroup(t, []*scriptTech{nil})
+	checkLane(t, "base", scripts[0], outs[0], false)
+}
+
+// TestSingleScriptedLane runs K=1 with an active technique.
+func TestSingleScriptedLane(t *testing.T) {
+	scripts, outs := runGroup(t, []*scriptTech{{name: "th40", throttleFrom: 40}})
+	checkLane(t, "th40", scripts[0], outs[0], false)
+}
+
+// TestFiveLanesMixedDivergence runs K=5 (non-power-of-two): the leader
+// and one twin stay in lockstep for the whole stream while three lanes
+// throttle at different cycles and must be cut at exactly those cycles.
+func TestFiveLanesMixedDivergence(t *testing.T) {
+	scripts, outs := runGroup(t, []*scriptTech{
+		nil,
+		{name: "th30", throttleFrom: 30},
+		{name: "quiet", throttleFrom: 0},
+		{name: "th75", throttleFrom: 75},
+		{name: "th200", throttleFrom: 200},
+	})
+	checkLane(t, "base", scripts[0], outs[0], false)
+	checkLane(t, "th30", scripts[1], outs[1], true)
+	checkLane(t, "quiet", scripts[2], outs[2], false)
+	checkLane(t, "th75", scripts[3], outs[3], true)
+	checkLane(t, "th200", scripts[4], outs[4], true)
+	for i, want := range []uint64{0, 30, 0, 75, 200} {
+		if want != 0 && outs[i].DivergedAt != want {
+			t.Errorf("lane %d: diverged at %d, want %d", i, outs[i].DivergedAt, want)
+		}
+	}
+}
+
+// TestNineLanesWithDuplicates runs K=9, more lanes than distinct
+// behaviours: duplicated scripts decide identically every cycle, so all
+// copies must finish (or diverge) together and match scalar.
+func TestNineLanesWithDuplicates(t *testing.T) {
+	scripts, outs := runGroup(t, []*scriptTech{
+		nil,
+		{name: "quiet-a", throttleFrom: 0},
+		{name: "quiet-b", throttleFrom: 0},
+		{name: "quiet-c", throttleFrom: 0},
+		{name: "th50-a", throttleFrom: 50},
+		{name: "th50-b", throttleFrom: 50},
+		{name: "th50-c", throttleFrom: 50},
+		nil,
+		{name: "th90", throttleFrom: 90},
+	})
+	for i, wantDiverged := range []bool{false, false, false, false, true, true, true, false, true} {
+		label := "base"
+		if scripts[i] != nil {
+			label = scripts[i].name
+		}
+		checkLane(t, label, scripts[i], outs[i], wantDiverged)
+	}
+	// The three th50 twins all left at the same cycle.
+	if outs[4].DivergedAt != 50 || outs[5].DivergedAt != 50 || outs[6].DivergedAt != 50 {
+		t.Errorf("th50 twins diverged at %d/%d/%d, want 50",
+			outs[4].DivergedAt, outs[5].DivergedAt, outs[6].DivergedAt)
+	}
+}
+
+// TestLanePanicMidBatch has one lane panic in Next partway through: it
+// must come back Failed with the panic in Err, and the remaining lanes
+// must still finish bit-identical to scalar.
+func TestLanePanicMidBatch(t *testing.T) {
+	scripts, outs := runGroup(t, []*scriptTech{
+		nil,
+		{name: "bomb", panicAt: 60},
+		{name: "quiet", throttleFrom: 0},
+	})
+	if outs[1].Status != batchkernel.Failed {
+		t.Fatalf("bomb lane: status %v, want failed", outs[1].Status)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "scripted panic") {
+		t.Errorf("bomb lane: err %v, want recovered scripted panic", outs[1].Err)
+	}
+	if outs[1].DivergedAt != 60 {
+		t.Errorf("bomb lane: failed at %d, want 60", outs[1].DivergedAt)
+	}
+	if len(scripts[1].recs) != 60 {
+		t.Errorf("bomb lane: observed %d cycles before the panic, want 60", len(scripts[1].recs))
+	}
+	checkLane(t, "base", scripts[0], outs[0], false)
+	checkLane(t, "quiet", scripts[2], outs[2], false)
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/power"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,11 @@ type Engine struct {
 	diskHits   uint64
 	misses     uint64
 	diskWrites uint64
+
+	// Power-model memoization traffic aggregated over every simulation
+	// this engine executed (see power.MemoStats).
+	powerMemoHits    uint64
+	powerMemoLookups uint64
 }
 
 // entry is one cache slot, created before its simulation starts so that
@@ -89,6 +95,11 @@ type CacheStats struct {
 	DiskWrites uint64
 	// Entries is the number of distinct specs cached in memory.
 	Entries int
+	// PowerMemoHits and PowerMemoLookups aggregate the power model's
+	// Step-memoization traffic over every simulation this engine
+	// executed; PowerMemoHits/PowerMemoLookups is the hit rate.
+	PowerMemoHits    uint64
+	PowerMemoLookups uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
@@ -96,12 +107,23 @@ func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return CacheStats{
-		Hits:       e.hits,
-		DiskHits:   e.diskHits,
-		Misses:     e.misses,
-		DiskWrites: e.diskWrites,
-		Entries:    len(e.entries),
+		Hits:             e.hits,
+		DiskHits:         e.diskHits,
+		Misses:           e.misses,
+		DiskWrites:       e.diskWrites,
+		Entries:          len(e.entries),
+		PowerMemoHits:    e.powerMemoHits,
+		PowerMemoLookups: e.powerMemoLookups,
 	}
+}
+
+// addMemoStats folds one simulation's power-memoization counters into
+// the engine totals.
+func (e *Engine) addMemoStats(st power.MemoStats) {
+	e.mu.Lock()
+	e.powerMemoHits += st.Hits
+	e.powerMemoLookups += st.Lookups()
+	e.mu.Unlock()
 }
 
 // Run executes one spec on the calling goroutine, serving it from the
@@ -118,7 +140,9 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	if e.cacheOff {
-		return Execute(spec)
+		res, st, err := executeMeasured(spec)
+		e.addMemoStats(st)
+		return res, err
 	}
 	key, err := spec.Key()
 	if err != nil {
@@ -157,7 +181,9 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 	e.mu.Lock()
 	e.misses++
 	e.mu.Unlock()
-	en.res, en.err = Execute(spec)
+	var st power.MemoStats
+	en.res, st, en.err = executeMeasured(spec)
+	e.addMemoStats(st)
 	if en.err != nil {
 		e.mu.Lock()
 		if e.entries[key] == en {
@@ -215,52 +241,220 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 
 	results := make([]sim.Result, len(specs))
 	errs := make([]error, len(specs))
-	var progressMu sync.Mutex
+	var mu sync.Mutex // serializes progress calls and error writes
 
-	// A fixed pool of min(len(specs), parallelism) workers pulls indices
-	// from a channel, so a 100k-point grid costs a handful of goroutines
-	// rather than one per point. The engine-wide slots channel still
-	// bounds total concurrency when several batches share the engine.
+	fail := func(i int, err error) {
+		mu.Lock()
+		errs[i] = err
+		mu.Unlock()
+		cancel() // first failure drains the queue
+	}
+	succeed := func(i int, res sim.Result) {
+		results[i] = res
+		if progress != nil {
+			mu.Lock()
+			progress(i, res)
+			mu.Unlock()
+		}
+	}
+
+	// Claim: compute every untraced spec's key and claim its memory-tier
+	// entry in one critical section, so the packer below sees the whole
+	// set of specs this batch must simulate. Specs already in flight (or
+	// cached) elsewhere become waiters; traced specs keep the scalar Run
+	// path, whose per-cycle side effects must always re-simulate.
+	type waiter struct {
+		i  int
+		en *entry
+	}
+	var waits []waiter
+	var toRun []int
+	owned := make(map[int]*entry)
+	keys := make(map[int]Key)
+	if e.cacheOff {
+		for i := range specs {
+			toRun = append(toRun, i)
+		}
+	} else {
+		for i := range specs {
+			if specs[i].Trace != nil {
+				continue
+			}
+			k, err := specs[i].Key()
+			if err != nil {
+				fail(i, err)
+				continue
+			}
+			keys[i] = k
+		}
+		e.mu.Lock()
+		for i := range specs {
+			if specs[i].Trace != nil {
+				toRun = append(toRun, i)
+				continue
+			}
+			k, ok := keys[i]
+			if !ok {
+				continue // key error already recorded
+			}
+			if en, exists := e.entries[k]; exists {
+				e.hits++
+				waits = append(waits, waiter{i: i, en: en})
+				continue
+			}
+			en := &entry{done: make(chan struct{})}
+			e.entries[k] = en
+			owned[i] = en
+			toRun = append(toRun, i)
+		}
+		e.mu.Unlock()
+	}
+
+	// Disk probe: owned untraced specs may be served from the
+	// persistent tier without simulating.
+	if e.disk != nil && !e.cacheOff {
+		n := 0
+		for _, i := range toRun {
+			en, isOwned := owned[i]
+			if !isOwned {
+				toRun[n] = i
+				n++
+				continue
+			}
+			res, ok := e.disk.load(keys[i])
+			if !ok {
+				toRun[n] = i
+				n++
+				continue
+			}
+			e.mu.Lock()
+			e.diskHits++
+			e.mu.Unlock()
+			en.res = res
+			close(en.done)
+			delete(owned, i)
+			succeed(i, res)
+		}
+		toRun = toRun[:n]
+	}
+
+	// Pack: group the remaining work by machine key so compatible specs
+	// share one lockstep kernel run; singletons (including every traced
+	// spec) stay scalar.
+	groups := packGroups(specs, toRun)
+
+	// finish records one simulated spec: fill and publish the claimed
+	// entry (or evict it on error so a later identical spec retries),
+	// persist to disk, and account the miss.
+	finish := func(i int, res sim.Result, err error) {
+		en := owned[i]
+		if err != nil {
+			if en != nil {
+				e.mu.Lock()
+				e.misses++
+				if e.entries[keys[i]] == en {
+					delete(e.entries, keys[i])
+				}
+				e.mu.Unlock()
+				en.err = err
+				close(en.done)
+			}
+			fail(i, err)
+			return
+		}
+		if en != nil {
+			e.mu.Lock()
+			e.misses++
+			e.mu.Unlock()
+			en.res = res
+			if e.disk != nil {
+				if e.disk.store(keys[i], res) {
+					e.mu.Lock()
+					e.diskWrites++
+					e.mu.Unlock()
+				}
+			}
+			close(en.done)
+		}
+		succeed(i, res)
+	}
+
+	runItem := func(g laneGroup) {
+		if len(g.indices) == 1 && !e.cacheOff {
+			if i := g.indices[0]; owned[i] == nil {
+				// A traced spec: the scalar Run path keeps its
+				// always-simulate and entry-replacement semantics.
+				res, err := e.Run(ctx, specs[i])
+				if err != nil {
+					fail(i, err)
+				} else {
+					succeed(i, res)
+				}
+				return
+			}
+		}
+		runGroup(ctx, specs, g, finish, e.addMemoStats)
+	}
+
+	// A fixed pool of min(groups, parallelism) workers pulls group
+	// indices from a channel, so a 100k-point grid costs a handful of
+	// goroutines rather than one per point. The engine-wide slots
+	// channel still bounds total concurrency when several batches share
+	// the engine; a multi-lane group occupies one slot, like the single
+	// simulation its machine steps.
 	idx := make(chan int)
 	go func() {
 		defer close(idx)
-		for i := range specs {
+		for gi := range groups {
 			select {
-			case idx <- i:
+			case idx <- gi:
 			case <-ctx.Done():
 				return
 			}
 		}
 	}()
 	var wg sync.WaitGroup
-	for w := 0; w < min(len(specs), e.parallelism); w++ {
+	for w := 0; w < min(len(groups), e.parallelism); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
+			for gi := range idx {
 				select {
 				case e.slots <- struct{}{}:
 				case <-ctx.Done():
-					errs[i] = ctx.Err()
-					continue // drain the queue cheaply after cancellation
-				}
-				res, err := e.Run(ctx, specs[i])
-				<-e.slots
-				if err != nil {
-					errs[i] = err
-					cancel() // first failure drains the queue
+					// Drain cheaply after cancellation, still
+					// resolving every claimed entry so waiters on
+					// other batches cannot hang.
+					for _, i := range groups[gi].indices {
+						finish(i, sim.Result{}, ctx.Err())
+					}
 					continue
 				}
-				results[i] = res
-				if progress != nil {
-					progressMu.Lock()
-					progress(i, res)
-					progressMu.Unlock()
-				}
+				runItem(groups[gi])
+				<-e.slots
 			}
 		}()
 	}
 	wg.Wait()
+
+	// Resolve waiters last: every entry this batch claimed has been
+	// closed above, so a cross-batch wait cycle cannot deadlock.
+	for _, w := range waits {
+		select {
+		case <-w.en.done:
+			if w.en.err != nil {
+				mu.Lock()
+				errs[w.i] = w.en.err
+				mu.Unlock()
+			} else {
+				succeed(w.i, w.en.res)
+			}
+		case <-ctx.Done():
+			mu.Lock()
+			errs[w.i] = ctx.Err()
+			mu.Unlock()
+		}
+	}
 
 	// Report the root-cause error, not the cascade of cancellations it
 	// triggered; a parent-context cancellation surfaces as itself.

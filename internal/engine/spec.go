@@ -205,26 +205,33 @@ func (s Spec) normalized() (Spec, *Descriptor, error) {
 // (see registry.go) validates the resolved configuration and constructs
 // the adapter.
 func Execute(spec Spec) (sim.Result, error) {
+	res, _, err := executeMeasured(spec)
+	return res, err
+}
+
+// executeMeasured is Execute plus the run's power-memoization counters,
+// which the engine aggregates into its CacheStats.
+func executeMeasured(spec Spec) (sim.Result, power.MemoStats, error) {
 	n, desc, err := spec.normalized()
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, power.MemoStats{}, err
 	}
 	params := workload.Params{}
 	if n.Workload != nil {
 		params = *n.Workload
 		if err := params.Validate(); err != nil {
-			return sim.Result{}, err
+			return sim.Result{}, power.MemoStats{}, err
 		}
 	} else {
 		app, err := workload.ByName(n.App)
 		if err != nil {
-			return sim.Result{}, err
+			return sim.Result{}, power.MemoStats{}, err
 		}
 		params = app.Params
 	}
 	tech, hooks, err := buildTechnique(&n, desc)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, power.MemoStats{}, err
 	}
 	cfg := *n.System
 
@@ -235,7 +242,7 @@ func Execute(spec Spec) (sim.Result, error) {
 	src := workload.SharedTraces().Source(params, n.Instructions)
 	s, err := sim.New(cfg, src, tech)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, power.MemoStats{}, err
 	}
 	if spec.Trace != nil {
 		s.SetTrace(spec.Trace, hooks.EventCount, hooks.Level)
@@ -244,7 +251,7 @@ func Execute(spec Spec) (sim.Result, error) {
 	if tech != nil {
 		name = tech.Name()
 	}
-	return s.Run(n.App, name), nil
+	return s.Run(n.App, name), s.Power().MemoStats(), nil
 }
 
 // buildTechnique validates a normalized spec's technique section and

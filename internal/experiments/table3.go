@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tuning"
+	"repro/internal/workload"
 )
 
 // Table3Row is one resonance-tuning configuration's summary (one row of
@@ -54,16 +57,39 @@ var paperTable3 = []struct {
 // 5-cycle-delay sensitivity check (Section 5.2).
 func Table3(opts Options) (Report, error) {
 	eng := opts.engine()
-	base, err := runSuite(eng, opts, engine.Spec{})
+	type sweep struct{ initial, delay int }
+	sweeps := []sweep{{75, 0}, {100, 0}, {125, 0}, {150, 0}, {200, 0}, {100, 5}}
+
+	// The base suite and all six tuning sweeps go through one RunAll:
+	// each application's seven specs (base + six tuning variants) share a
+	// MachineKey, so the engine's batch path packs them into one lockstep
+	// group per application instead of simulating the stream seven times.
+	apps := workload.Apps()
+	variants := []engine.Spec{{}}
+	cfgs := make([]tuning.Config, len(sweeps))
+	for i, sw := range sweeps {
+		cfgs[i] = paperTuningConfig(sw.initial, sw.delay)
+		variants = append(variants, engine.Spec{Technique: engine.TechniqueTuning, Tuning: &cfgs[i]})
+	}
+	specs := make([]engine.Spec, 0, len(variants)*len(apps))
+	for _, v := range variants {
+		for _, app := range apps {
+			s := v
+			s.App = app.Params.Name
+			s.Instructions = opts.instructions()
+			specs = append(specs, s)
+		}
+	}
+	all, err := eng.RunAll(context.Background(), specs, nil)
 	if err != nil {
 		return Report{}, err
 	}
+	base := all[:len(apps)]
 	data := &Table3Data{Base: base}
 
-	type sweep struct{ initial, delay int }
-	sweeps := []sweep{{75, 0}, {100, 0}, {125, 0}, {150, 0}, {200, 0}, {100, 5}}
-	for _, sw := range sweeps {
-		row, err := runTuningConfig(eng, opts, base, sw.initial, sw.delay)
+	for si, sw := range sweeps {
+		results := all[(si+1)*len(apps) : (si+2)*len(apps)]
+		row, err := summarizeTuningRow(base, results, sw.initial, sw.delay)
 		if err != nil {
 			return Report{}, err
 		}
@@ -100,14 +126,9 @@ func Table3(opts Options) (Report, error) {
 	return Report{ID: "table3", Text: b.String(), Data: data}, nil
 }
 
-// runTuningConfig evaluates one resonance-tuning configuration across the
-// suite and summarises it.
-func runTuningConfig(eng *engine.Engine, opts Options, base []sim.Result, initial, delay int) (Table3Row, error) {
-	cfg := paperTuningConfig(initial, delay)
-	results, err := runSuite(eng, opts, engine.Spec{Technique: engine.TechniqueTuning, Tuning: &cfg})
-	if err != nil {
-		return Table3Row{}, err
-	}
+// summarizeTuningRow condenses one resonance-tuning configuration's
+// suite results into a table row.
+func summarizeTuningRow(base, results []sim.Result, initial, delay int) (Table3Row, error) {
 	var firstCycles, secondCycles, totalCycles uint64
 	for _, r := range results {
 		firstCycles += r.Tech.FirstLevelCycles

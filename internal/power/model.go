@@ -135,6 +135,79 @@ func (c Config) Validate() error {
 // spreadRing must cover the longest spread.
 const spreadRing = 16
 
+// Step memoization: throttled and stalled cycles repeat a small set of
+// activity vectors (often the all-idle vector), so the deposit pattern a
+// vector produces is cached in a direct-mapped table keyed by the packed
+// vector. A cached entry stores the per-unit (total, share, spread)
+// triples and a hit replays exactly the additions the uncached path would
+// perform, in the same order — floating-point addition is not
+// associative, so pre-summing deposits would change results; replaying
+// the identical op sequence keeps hit and miss cycles bit-identical.
+const (
+	memoBits = 9
+	memoSize = 1 << memoBits
+)
+
+// memoRow is one active unit's deposit recipe within a memo entry.
+type memoRow struct {
+	total float64
+	share float64
+	u     Unit
+	n     uint8
+}
+
+// memoEntry caches the deposit recipe of one activity vector. key holds
+// the packed vector plus one so the zero value marks an empty slot (the
+// all-idle vector packs to zero).
+type memoEntry struct {
+	key  uint64
+	n    uint8
+	rows [NumUnits]memoRow
+}
+
+// MemoStats reports Step's memoization traffic.
+type MemoStats struct {
+	// Hits counts cycles served by a cached deposit recipe; Misses
+	// counts cycles that computed and cached a new recipe.
+	Hits, Misses uint64
+	// Bypasses counts cycles whose activity could not be packed into the
+	// memo key (some field above 15) and took the original path.
+	Bypasses uint64
+}
+
+// Lookups returns the total number of Step calls that consulted the memo.
+func (s MemoStats) Lookups() uint64 { return s.Hits + s.Misses + s.Bypasses }
+
+// HitRate returns the fraction of Step calls served from the memo.
+func (s MemoStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// memoKey packs the 13 activity fields events reads into 4-bit lanes.
+// ok is false when any field exceeds a lane (wider machines' peak cycles
+// take the unmemoized path).
+func memoKey(act *cpu.Activity) (key uint64, ok bool) {
+	f0, f1, f2, f3 := act.Fetched, act.Dispatched, act.IssuedTotal, act.Committed
+	f4, f5, f6 := act.L1D, act.L2, act.Mem
+	f7, f8 := act.Issued[cpu.IntALU], act.Issued[cpu.IntMul]
+	f9, f10 := act.Issued[cpu.FPALU], act.Issued[cpu.FPMul]
+	f11, f12 := act.Issued[cpu.Branch], act.Issued[cpu.Store]
+	// One combined range check: OR-ing keeps any bit above 0xF (and the
+	// sign bit of any negative count) visible, exactly as the per-field
+	// v&^0xF test would.
+	if (f0|f1|f2|f3|f4|f5|f6|f7|f8|f9|f10|f11|f12)&^0xF != 0 {
+		return 0, false
+	}
+	key = uint64(f0) | uint64(f1)<<4 | uint64(f2)<<8 | uint64(f3)<<12 |
+		uint64(f4)<<16 | uint64(f5)<<20 | uint64(f6)<<24 |
+		uint64(f7)<<28 | uint64(f8)<<32 | uint64(f9)<<36 | uint64(f10)<<40 |
+		uint64(f11)<<44 | uint64(f12)<<48
+	return key, true
+}
+
 // Model converts cpu.Activity into per-cycle power, current, and energy.
 // A Model is stateful because of multi-cycle energy spreading; use one
 // Model per simulated core and advance it exactly once per core cycle.
@@ -152,6 +225,11 @@ type Model struct {
 
 	pending [spreadRing]float64
 	slot    int
+
+	memo       []memoEntry
+	memoHits   uint64
+	memoMisses uint64
+	memoBypass uint64
 
 	totalJ   float64
 	perUnit  [NumUnits]float64
@@ -193,6 +271,7 @@ func New(cfg Config, cc cpu.Config) *Model {
 		fullUnitJ := budgetFraction[u] * dynamicW * cycleJ
 		m.unitEventJ[u] = fullUnitJ * (1 - cfg.GatedResidual) / m.maxEvents[u]
 	}
+	m.memo = make([]memoEntry, memoSize)
 	return m
 }
 
@@ -230,25 +309,46 @@ func (m *Model) events(act *cpu.Activity, ev *[NumUnits]float64) {
 // amps model the phantom operations of the second-level response and of
 // [10]: current that does no useful work.
 func (m *Model) Step(act *cpu.Activity, phantomAmps float64) float64 {
-	var ev [NumUnits]float64
-	m.events(act, &ev)
-	// Deposit each unit's event energy across its spread window.
-	for u := Unit(0); u < NumUnits; u++ {
-		if ev[u] == 0 {
-			continue
+	if key, ok := memoKey(act); ok {
+		en := &m.memo[(key*0x9E3779B97F4A7C15)>>(64-memoBits)]
+		if en.key == key+1 {
+			m.memoHits++
+		} else {
+			m.memoMisses++
+			m.fillMemo(act, key, en)
 		}
-		total := ev[u] * m.unitEventJ[u]
-		m.perUnit[u] += total
-		n := spreadCycles[u]
-		share := total / float64(n)
-		for k := 0; k < n; k++ {
-			m.pending[(m.slot+k)%spreadRing] += share
+		// Replay the cached recipe: the identical additions, in the
+		// identical order, as the unmemoized loop below.
+		slot := uint(m.slot)
+		for i := 0; i < int(en.n); i++ {
+			r := &en.rows[i]
+			m.perUnit[r.u] += r.total
+			for k := uint(0); k < uint(r.n); k++ {
+				m.pending[(slot+k)&(spreadRing-1)] += r.share
+			}
+		}
+	} else {
+		m.memoBypass++
+		var ev [NumUnits]float64
+		m.events(act, &ev)
+		// Deposit each unit's event energy across its spread window.
+		for u := Unit(0); u < NumUnits; u++ {
+			if ev[u] == 0 {
+				continue
+			}
+			total := ev[u] * m.unitEventJ[u]
+			m.perUnit[u] += total
+			n := spreadCycles[u]
+			share := total / float64(n)
+			for k := uint(0); k < uint(n); k++ {
+				m.pending[(uint(m.slot)+k)&(spreadRing-1)] += share
+			}
 		}
 	}
 	m.floorTot += m.floorJ
 	e := m.floorJ + m.pending[m.slot]
 	m.pending[m.slot] = 0
-	m.slot = (m.slot + 1) % spreadRing
+	m.slot = (m.slot + 1) & (spreadRing - 1)
 
 	if phantomAmps > 0 {
 		e += phantomAmps * m.cfg.Vdd / m.cfg.ClockHz
@@ -256,6 +356,30 @@ func (m *Model) Step(act *cpu.Activity, phantomAmps float64) float64 {
 	m.totalJ += e
 	m.cycles++
 	return e
+}
+
+// fillMemo computes the deposit recipe for act into en. The recipe's
+// totals and shares are produced by the same expressions the unmemoized
+// loop evaluates, so replaying it is bit-identical to that loop.
+func (m *Model) fillMemo(act *cpu.Activity, key uint64, en *memoEntry) {
+	var ev [NumUnits]float64
+	m.events(act, &ev)
+	en.key = key + 1
+	en.n = 0
+	for u := Unit(0); u < NumUnits; u++ {
+		if ev[u] == 0 {
+			continue
+		}
+		total := ev[u] * m.unitEventJ[u]
+		n := spreadCycles[u]
+		en.rows[en.n] = memoRow{total: total, share: total / float64(n), u: u, n: uint8(n)}
+		en.n++
+	}
+}
+
+// MemoStats returns Step's memoization counters.
+func (m *Model) MemoStats() MemoStats {
+	return MemoStats{Hits: m.memoHits, Misses: m.memoMisses, Bypasses: m.memoBypass}
 }
 
 // CurrentAmps converts a cycle energy (joules) into the average current

@@ -259,3 +259,126 @@ func TestBreakdownAccountsForEverything(t *testing.T) {
 		t.Error("window (15%) should out-consume intmul (4%) at full activity")
 	}
 }
+
+// refStep replays the pre-memoization Step algorithm against a model's
+// calibration, so tests can pin the memoized path bit-identically to the
+// original arithmetic.
+type refStep struct {
+	m        *Model
+	pending  [spreadRing]float64
+	slot     int
+	perUnit  [NumUnits]float64
+	floorTot float64
+	totalJ   float64
+}
+
+func (r *refStep) step(act *cpu.Activity, phantomAmps float64) float64 {
+	var ev [NumUnits]float64
+	r.m.events(act, &ev)
+	for u := Unit(0); u < NumUnits; u++ {
+		if ev[u] == 0 {
+			continue
+		}
+		total := ev[u] * r.m.unitEventJ[u]
+		r.perUnit[u] += total
+		n := spreadCycles[u]
+		share := total / float64(n)
+		for k := 0; k < n; k++ {
+			r.pending[(r.slot+k)%spreadRing] += share
+		}
+	}
+	r.floorTot += r.m.floorJ
+	e := r.m.floorJ + r.pending[r.slot]
+	r.pending[r.slot] = 0
+	r.slot = (r.slot + 1) % spreadRing
+	if phantomAmps > 0 {
+		e += phantomAmps * r.m.cfg.Vdd / r.m.cfg.ClockHz
+	}
+	r.totalJ += e
+	return e
+}
+
+// TestMemoizedStepBitIdentical drives the memoized Step with a repeating
+// (hence memo-hitting) but varied activity stream, including vectors too
+// wide for the memo key, and asserts every cycle's energy is bit-identical
+// to the original deposit algorithm.
+func TestMemoizedStepBitIdentical(t *testing.T) {
+	m := newModel()
+	ref := &refStep{m: newModel()}
+	// A small pool of vectors revisited many times: hits dominate after
+	// the first lap, exactly like throttled/stalled simulation cycles.
+	pool := make([]cpu.Activity, 0, 40)
+	pool = append(pool, cpu.Activity{})                    // all-idle
+	pool = append(pool, fullActivity(cpu.DefaultConfig())) // peak
+	wide := fullActivity(cpu.DefaultConfig())
+	wide.Fetched = 99 // unpackable: must take the bypass path
+	pool = append(pool, wide)
+	seed := uint64(1)
+	rnd := func(n int) int { // xorshift, deterministic
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(n))
+	}
+	for len(pool) < cap(pool) {
+		var a cpu.Activity
+		a.Fetched = rnd(9)
+		a.Dispatched = rnd(9)
+		a.Committed = rnd(9)
+		a.Issued[cpu.IntALU] = rnd(7)
+		a.Issued[cpu.IntMul] = rnd(3)
+		a.Issued[cpu.FPALU] = rnd(5)
+		a.Issued[cpu.FPMul] = rnd(3)
+		a.Issued[cpu.Branch] = rnd(2)
+		a.Issued[cpu.Store] = rnd(3)
+		a.IssuedTotal = a.Issued[cpu.IntALU] + a.Issued[cpu.IntMul] +
+			a.Issued[cpu.FPALU] + a.Issued[cpu.FPMul] + a.Issued[cpu.Branch] + a.Issued[cpu.Store]
+		a.L1D = rnd(3)
+		a.L2 = rnd(2)
+		a.Mem = rnd(2)
+		pool = append(pool, a)
+	}
+	for i := 0; i < 20000; i++ {
+		act := pool[rnd(len(pool))]
+		phantom := 0.0
+		if rnd(4) == 0 {
+			phantom = float64(rnd(30))
+		}
+		got := m.Step(&act, phantom)
+		want := ref.step(&act, phantom)
+		if got != want {
+			t.Fatalf("cycle %d: memoized Step = %v, reference = %v", i, got, want)
+		}
+	}
+	if m.TotalJoules() != ref.totalJ {
+		t.Fatalf("TotalJoules diverged: %v vs %v", m.TotalJoules(), ref.totalJ)
+	}
+	gotFloor, gotUnits := m.Breakdown()
+	if gotFloor != ref.floorTot || gotUnits != ref.perUnit {
+		t.Fatalf("Breakdown diverged")
+	}
+	st := m.MemoStats()
+	if st.Hits == 0 || st.Bypasses == 0 {
+		t.Fatalf("stream did not exercise all memo paths: %+v", st)
+	}
+	if st.Lookups() != 20000 {
+		t.Fatalf("lookups = %d, want 20000", st.Lookups())
+	}
+	if st.HitRate() < 0.9 {
+		t.Fatalf("hit rate %.2f too low for a 40-vector pool", st.HitRate())
+	}
+}
+
+// TestMemoStatsCountsHitsAndMisses pins the counter semantics.
+func TestMemoStatsCountsHitsAndMisses(t *testing.T) {
+	m := newModel()
+	var act cpu.Activity
+	act.Fetched = 3
+	for i := 0; i < 10; i++ {
+		m.Step(&act, 0)
+	}
+	st := m.MemoStats()
+	if st.Misses != 1 || st.Hits != 9 || st.Bypasses != 0 {
+		t.Fatalf("stats = %+v, want 1 miss, 9 hits", st)
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/power"
+	"repro/internal/sensor"
+)
+
+// Machine is the technique-independent half of a simulation: the pipeline
+// model, the power model, the supply circuit, and the current sensor,
+// advanced together one cycle at a time. Step applies a throttle and a
+// phantom request (whoever decides them — a Technique via Simulator, or a
+// batch kernel's leader lane) and returns the cycle's Observation.
+//
+// Machine exists so the scalar Simulator and the lockstep batch kernel
+// (internal/engine/batchkernel) share one copy of the per-cycle
+// arithmetic: every operation in Step is performed in the same order as
+// the original Simulator.StepCycle, so results are bit-identical to the
+// pre-split loop (pinned by the kernel's differential harness).
+type Machine struct {
+	cfg    Config
+	core   *cpu.Core
+	pwr    *power.Model
+	supply supplySim
+	sens   *sensor.Current
+
+	classAmps [cpu.NumClasses]float64
+	// margin caches the supply's noise margin so the per-cycle violation
+	// check is a compare, not an interface call; resolution caches the
+	// sensor quantisation step for the undelayed fast path (sens is only
+	// instantiated when a reading delay makes real history necessary).
+	margin     float64
+	resolution float64
+
+	act cpu.Activity // per-cycle activity buffer, reused to avoid copies
+	obs Observation  // per-cycle observation buffer, reused likewise
+
+	phantomJ  float64
+	violation uint64
+	peakDev   float64
+	sumAmps   float64
+	minAmps   float64
+	maxAmps   float64
+	cycles    uint64
+}
+
+// NewMachine builds the simulated system for the given configuration and
+// instruction source.
+func NewMachine(cfg Config, src cpu.Source) (*Machine, error) {
+	if err := cfg.CPU.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Power.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Supply.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.TwoStageSupply != nil {
+		if err := cfg.TwoStageSupply.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	pwr := power.New(cfg.Power, cfg.CPU)
+	core := cpu.New(cfg.CPU, src)
+	core.SetClassCurrentEstimates(pwr.ClassAmps())
+	resolution := 1.0 // the paper's whole-amp sensors
+	switch {
+	case cfg.SensorResolutionAmps > 0:
+		resolution = cfg.SensorResolutionAmps
+	case cfg.SensorResolutionAmps < 0:
+		resolution = 0 // exact
+	}
+	var sens *sensor.Current
+	if cfg.SensorDelayCycles > 0 {
+		sens = sensor.NewCurrentDelayed(cfg.SensorDelayCycles)
+		sens.ResolutionAmps = resolution
+	}
+	var supply supplySim
+	var margin float64
+	if cfg.TwoStageSupply != nil {
+		supply = circuit.NewTwoStageSimulator(*cfg.TwoStageSupply, pwr.IdleAmps())
+		margin = cfg.TwoStageSupply.NoiseMarginVolts()
+	} else {
+		supply = circuit.NewSimulator(cfg.Supply, pwr.IdleAmps())
+		margin = cfg.Supply.NoiseMarginVolts()
+	}
+	return &Machine{
+		cfg:        cfg,
+		core:       core,
+		pwr:        pwr,
+		supply:     supply,
+		sens:       sens,
+		classAmps:  pwr.ClassAmps(),
+		margin:     margin,
+		resolution: resolution,
+		minAmps:    math.Inf(1),
+		maxAmps:    math.Inf(-1),
+	}, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Power exposes the power model (for technique setup needing PhantomFire
+// or mid-level amps, and for memoization statistics).
+func (m *Machine) Power() *power.Model { return m.pwr }
+
+// Core exposes the pipeline model.
+func (m *Machine) Core() *cpu.Core { return m.core }
+
+// Done reports whether the instruction stream is exhausted and the
+// pipeline has drained.
+func (m *Machine) Done() bool { return m.core.Done() }
+
+// Cycles returns the number of cycles stepped so far.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// CycleLimit returns the configured MaxCycles bound, substituting the
+// generous livelock guard when the configuration leaves it zero.
+func (m *Machine) CycleLimit() uint64 {
+	if m.cfg.MaxCycles == 0 {
+		return 1 << 62
+	}
+	return m.cfg.MaxCycles
+}
+
+// Step advances the whole system one clock cycle under the given throttle
+// and phantom request and returns the cycle's Observation. The returned
+// pointer aims at a buffer Step reuses every cycle: read it before the
+// next Step, copy it to retain it.
+func (m *Machine) Step(throttle cpu.Throttle, ph Phantom) *Observation {
+	act := &m.act
+	m.core.StepInto(throttle, act)
+	coreJ := m.pwr.Step(act, 0)
+	coreAmps := m.pwr.CurrentAmps(coreJ)
+
+	phantomAmps := 0.0
+	switch {
+	case ph.TargetAmps > 0 && coreAmps < ph.TargetAmps:
+		phantomAmps = ph.TargetAmps - coreAmps
+	case ph.FireAmps > 0:
+		phantomAmps = ph.FireAmps
+	}
+	if phantomAmps > 0 {
+		m.phantomJ += phantomAmps * m.cfg.Power.Vdd / m.cfg.Power.ClockHz
+	}
+	totalAmps := coreAmps + phantomAmps
+
+	dev := m.supply.Step(totalAmps)
+	a := dev
+	if a < 0 {
+		a = -a
+	}
+	if a > m.peakDev {
+		m.peakDev = a
+	}
+	if a > m.margin {
+		m.violation++
+	}
+
+	est := 0.0
+	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
+		if n := act.Issued[cl]; n > 0 {
+			est += float64(n) * m.classAmps[cl]
+		}
+	}
+	var sensed float64
+	switch {
+	case m.sens != nil:
+		sensed = m.sens.Read(totalAmps)
+	case m.resolution > 0:
+		// Same quantisation arithmetic as sensor.Current.Read, inlined
+		// for the undelayed sensor the paper's evaluation uses.
+		sensed = math.Round(totalAmps/m.resolution) * m.resolution
+	default:
+		sensed = totalAmps
+	}
+
+	m.sumAmps += totalAmps
+	if totalAmps < m.minAmps {
+		m.minAmps = totalAmps
+	}
+	if totalAmps > m.maxAmps {
+		m.maxAmps = totalAmps
+	}
+	m.obs = Observation{
+		Cycle:          m.cycles,
+		SensedAmps:     sensed,
+		TotalAmps:      totalAmps,
+		DeviationVolts: dev,
+		IssuedEstAmps:  est,
+		Activity:       act,
+	}
+	m.cycles++
+	return &m.obs
+}
+
+// Result summarises the run so far under the given labels. The Tech
+// accounting is left zero; callers that ran a technique fill it in (see
+// TechStatsOf).
+func (m *Machine) Result(appName, techName string) Result {
+	res := Result{
+		App:            appName,
+		Technique:      techName,
+		Cycles:         m.cycles,
+		Instructions:   m.core.Committed(),
+		IPC:            m.core.IPC(),
+		EnergyJ:        m.pwr.TotalJoules() + m.phantomJ,
+		PhantomJ:       m.phantomJ,
+		Violations:     m.violation,
+		PeakDeviationV: m.peakDev,
+	}
+	if m.cycles > 0 {
+		res.ViolationFraction = float64(m.violation) / float64(m.cycles)
+		res.MeanAmps = m.sumAmps / float64(m.cycles)
+		res.MinAmps = m.minAmps
+		res.MaxAmps = m.maxAmps
+	}
+	return res
+}
+
+// TechStatsOf returns the controller accounting a technique reports, or a
+// zero TechStats for techniques without any (and for the nil base
+// technique).
+func TechStatsOf(t Technique) TechStats {
+	if ts, ok := t.(techStatser); ok {
+		return ts.TechStats()
+	}
+	return TechStats{}
+}

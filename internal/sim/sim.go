@@ -14,13 +14,9 @@
 package sim
 
 import (
-	"fmt"
-	"math"
-
 	"repro/internal/circuit"
 	"repro/internal/cpu"
 	"repro/internal/power"
-	"repro/internal/sensor"
 )
 
 // supplySim is the power-distribution-network behaviour the loop needs;
@@ -71,8 +67,9 @@ type Technique interface {
 	// coming cycle.
 	Next() (cpu.Throttle, Phantom)
 	// Observe delivers the cycle's outcomes so the technique can decide
-	// its next response.
-	Observe(obs Observation)
+	// its next response. The pointer aims at a buffer reused every
+	// cycle: read during Observe, copy to retain.
+	Observe(obs *Observation)
 }
 
 // Config assembles a simulation.
@@ -169,87 +166,39 @@ type TracePoint struct {
 	ResponseLevel  int
 }
 
-// Simulator runs one application under one technique.
+// Simulator runs one application under one technique: a Machine plus
+// the technique control loop (tech.Next → Machine.Step → tech.Observe)
+// and optional per-cycle tracing. The batch kernel in
+// internal/engine/batchkernel drives Machines directly; the scalar path
+// here is the differential reference it is pinned against.
 type Simulator struct {
-	cfg    Config
-	core   *cpu.Core
-	pwr    *power.Model
-	supply supplySim
-	sens   *sensor.Current
-	tech   Technique
+	m    *Machine
+	tech Technique
 
-	classAmps [cpu.NumClasses]float64
-	phantomJ  float64
-	act       cpu.Activity // per-cycle activity buffer, reused to avoid copies
-
-	trace     func(TracePoint)
-	countFn   func() int // technique's event count for tracing
-	levelFn   func() int
-	violation uint64
-	peakDev   float64
-	sumAmps   float64
-	minAmps   float64
-	maxAmps   float64
-	cycles    uint64
+	trace   func(TracePoint)
+	countFn func() int // technique's event count for tracing
+	levelFn func() int
 }
 
 // New builds a simulator for the given instruction source and technique.
 // tech may be nil for the base (uncontrolled) processor.
 func New(cfg Config, src cpu.Source, tech Technique) (*Simulator, error) {
-	if err := cfg.CPU.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	m, err := NewMachine(cfg, src)
+	if err != nil {
+		return nil, err
 	}
-	if err := cfg.Power.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if err := cfg.Supply.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if cfg.TwoStageSupply != nil {
-		if err := cfg.TwoStageSupply.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
-		}
-	}
-	pwr := power.New(cfg.Power, cfg.CPU)
-	core := cpu.New(cfg.CPU, src)
-	core.SetClassCurrentEstimates(pwr.ClassAmps())
-	var sens *sensor.Current
-	if cfg.SensorDelayCycles > 0 {
-		sens = sensor.NewCurrentDelayed(cfg.SensorDelayCycles)
-	} else {
-		sens = sensor.NewCurrent()
-	}
-	switch {
-	case cfg.SensorResolutionAmps > 0:
-		sens.ResolutionAmps = cfg.SensorResolutionAmps
-	case cfg.SensorResolutionAmps < 0:
-		sens.ResolutionAmps = 0 // exact
-	}
-	var supply supplySim
-	if cfg.TwoStageSupply != nil {
-		supply = circuit.NewTwoStageSimulator(*cfg.TwoStageSupply, pwr.IdleAmps())
-	} else {
-		supply = circuit.NewSimulator(cfg.Supply, pwr.IdleAmps())
-	}
-	return &Simulator{
-		cfg:       cfg,
-		core:      core,
-		pwr:       pwr,
-		supply:    supply,
-		sens:      sens,
-		tech:      tech,
-		classAmps: pwr.ClassAmps(),
-		minAmps:   math.Inf(1),
-		maxAmps:   math.Inf(-1),
-	}, nil
+	return &Simulator{m: m, tech: tech}, nil
 }
 
 // Power exposes the power model (for technique setup needing PhantomFire
 // or mid-level amps).
-func (s *Simulator) Power() *power.Model { return s.pwr }
+func (s *Simulator) Power() *power.Model { return s.m.Power() }
 
 // Core exposes the pipeline model.
-func (s *Simulator) Core() *cpu.Core { return s.core }
+func (s *Simulator) Core() *cpu.Core { return s.m.Core() }
+
+// Machine exposes the technique-independent simulated system.
+func (s *Simulator) Machine() *Machine { return s.m }
 
 // SetTrace installs a per-cycle trace callback, plus optional functions
 // reporting the technique's resonant event count and response level.
@@ -266,58 +215,12 @@ func (s *Simulator) StepCycle() {
 	if s.tech != nil {
 		throttle, ph = s.tech.Next()
 	}
-	act := &s.act
-	s.core.StepInto(throttle, act)
-	coreJ := s.pwr.Step(act, 0)
-	coreAmps := s.pwr.CurrentAmps(coreJ)
-
-	phantomAmps := 0.0
-	switch {
-	case ph.TargetAmps > 0 && coreAmps < ph.TargetAmps:
-		phantomAmps = ph.TargetAmps - coreAmps
-	case ph.FireAmps > 0:
-		phantomAmps = ph.FireAmps
-	}
-	if phantomAmps > 0 {
-		s.phantomJ += phantomAmps * s.cfg.Power.Vdd / s.cfg.Power.ClockHz
-	}
-	totalAmps := coreAmps + phantomAmps
-
-	dev := s.supply.Step(totalAmps)
-	if a := math.Abs(dev); a > s.peakDev {
-		s.peakDev = a
-	}
-	if s.supply.Violated(dev) {
-		s.violation++
-	}
-
-	est := 0.0
-	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
-		if n := act.Issued[cl]; n > 0 {
-			est += float64(n) * s.classAmps[cl]
-		}
-	}
-	sensed := s.sens.Read(totalAmps)
+	obs := s.m.Step(throttle, ph)
 	if s.tech != nil {
-		s.tech.Observe(Observation{
-			Cycle:          s.cycles,
-			SensedAmps:     sensed,
-			TotalAmps:      totalAmps,
-			DeviationVolts: dev,
-			IssuedEstAmps:  est,
-			Activity:       act,
-		})
-	}
-
-	s.sumAmps += totalAmps
-	if totalAmps < s.minAmps {
-		s.minAmps = totalAmps
-	}
-	if totalAmps > s.maxAmps {
-		s.maxAmps = totalAmps
+		s.tech.Observe(obs)
 	}
 	if s.trace != nil {
-		tp := TracePoint{Cycle: s.cycles, TotalAmps: totalAmps, DeviationVolts: dev}
+		tp := TracePoint{Cycle: obs.Cycle, TotalAmps: obs.TotalAmps, DeviationVolts: obs.DeviationVolts}
 		if s.countFn != nil {
 			tp.EventCount = s.countFn()
 		}
@@ -326,38 +229,16 @@ func (s *Simulator) StepCycle() {
 		}
 		s.trace(tp)
 	}
-	s.cycles++
 }
 
 // Run simulates until the instruction stream drains (or MaxCycles) and
 // returns the result. appName and techName label the result.
 func (s *Simulator) Run(appName, techName string) Result {
-	maxCycles := s.cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = 1 << 62
-	}
-	for !s.core.Done() && s.cycles < maxCycles {
+	maxCycles := s.m.CycleLimit()
+	for !s.m.Done() && s.m.Cycles() < maxCycles {
 		s.StepCycle()
 	}
-	res := Result{
-		App:            appName,
-		Technique:      techName,
-		Cycles:         s.cycles,
-		Instructions:   s.core.Committed(),
-		IPC:            s.core.IPC(),
-		EnergyJ:        s.pwr.TotalJoules() + s.phantomJ,
-		PhantomJ:       s.phantomJ,
-		Violations:     s.violation,
-		PeakDeviationV: s.peakDev,
-	}
-	if ts, ok := s.tech.(techStatser); ok {
-		res.Tech = ts.TechStats()
-	}
-	if s.cycles > 0 {
-		res.ViolationFraction = float64(s.violation) / float64(s.cycles)
-		res.MeanAmps = s.sumAmps / float64(s.cycles)
-		res.MinAmps = s.minAmps
-		res.MaxAmps = s.maxAmps
-	}
+	res := s.m.Result(appName, techName)
+	res.Tech = TechStatsOf(s.tech)
 	return res
 }

@@ -189,7 +189,7 @@ func (f *forceStall) Next() (cpu.Throttle, Phantom) {
 	return cpu.Throttle{StallIssue: true, StallFetch: true, IssueCurrentBudget: -1},
 		Phantom{TargetAmps: f.target}
 }
-func (f *forceStall) Observe(obs Observation) { f.lastTotal = obs.TotalAmps }
+func (f *forceStall) Observe(obs *Observation) { f.lastTotal = obs.TotalAmps }
 
 func TestNewRejectsInvalidConfigs(t *testing.T) {
 	src := cpu.NewSliceSource(nil)

@@ -34,7 +34,7 @@ func (t *ResonanceTuning) Next() (cpu.Throttle, Phantom) {
 }
 
 // Observe implements Technique.
-func (t *ResonanceTuning) Observe(obs Observation) {
+func (t *ResonanceTuning) Observe(obs *Observation) {
 	t.next = t.ctrl.Step(obs.SensedAmps)
 }
 
@@ -89,7 +89,7 @@ func (t *VoltageControl) Next() (cpu.Throttle, Phantom) {
 }
 
 // Observe implements Technique.
-func (t *VoltageControl) Observe(obs Observation) {
+func (t *VoltageControl) Observe(obs *Observation) {
 	t.next = t.ctrl.Step(obs.DeviationVolts)
 }
 
@@ -141,7 +141,7 @@ func (t *Damping) Next() (cpu.Throttle, Phantom) {
 }
 
 // Observe implements Technique.
-func (t *Damping) Observe(obs Observation) {
+func (t *Damping) Observe(obs *Observation) {
 	t.pendingAmps = t.ctrl.Account(obs.IssuedEstAmps)
 }
 
@@ -187,7 +187,7 @@ func (t *ConvolutionControl) Next() (cpu.Throttle, Phantom) {
 }
 
 // Observe implements Technique.
-func (t *ConvolutionControl) Observe(obs Observation) {
+func (t *ConvolutionControl) Observe(obs *Observation) {
 	t.next = t.ctrl.Step(obs.TotalAmps, obs.DeviationVolts)
 }
 
@@ -214,7 +214,7 @@ func (t *WaveletControl) Name() string { return "wavelet-control" }
 func (t *WaveletControl) Next() (cpu.Throttle, Phantom) { return t.next, Phantom{} }
 
 // Observe implements Technique.
-func (t *WaveletControl) Observe(obs Observation) {
+func (t *WaveletControl) Observe(obs *Observation) {
 	t.next = t.ctrl.Step(obs.SensedAmps)
 }
 
@@ -269,7 +269,7 @@ func (t *DualBandTuning) Next() (cpu.Throttle, Phantom) {
 }
 
 // Observe implements Technique.
-func (t *DualBandTuning) Observe(obs Observation) {
+func (t *DualBandTuning) Observe(obs *Observation) {
 	t.nextMed = t.medium.Step(obs.SensedAmps)
 	t.acc += obs.SensedAmps
 	t.n++

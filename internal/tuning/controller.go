@@ -149,15 +149,18 @@ type Controller struct {
 	cfg Config
 	det *Detector
 
-	cycle        uint64
-	level1Until  uint64
-	level2Until  uint64
-	pendingL1At  uint64 // scheduled engagement cycles (response delay)
-	pendingL2At  uint64
-	pendingL1    bool
-	pendingL2    bool
-	stats        Stats
-	lastResponse Response
+	cycle       uint64
+	level1Until uint64
+	level2Until uint64
+	pendingL1At uint64 // scheduled engagement cycles (response delay)
+	pendingL2At uint64
+	pendingL1   bool
+	pendingL2   bool
+	stats       Stats
+
+	// The three possible responses, precomputed from cfg so Step's hot
+	// path picks one instead of rebuilding a struct every cycle.
+	respNone, respL1, respL2 Response
 }
 
 // NewController returns a controller for the given configuration. It
@@ -166,7 +169,24 @@ func NewController(cfg Config) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("tuning.NewController: %v", err))
 	}
-	return &Controller{cfg: cfg, det: NewDetector(cfg.Detector)}
+	return &Controller{
+		cfg:      cfg,
+		det:      NewDetector(cfg.Detector),
+		respNone: Response{Level: LevelNone, Throttle: cpu.Unlimited},
+		respL1: Response{
+			Level: LevelFirst,
+			Throttle: cpu.Throttle{
+				IssueWidth:         cfg.ReducedIssueWidth,
+				CachePorts:         cfg.ReducedCachePorts,
+				IssueCurrentBudget: -1,
+			},
+		},
+		respL2: Response{
+			Level:             LevelSecond,
+			Throttle:          cpu.Throttle{StallIssue: true, IssueCurrentBudget: -1},
+			PhantomTargetAmps: cfg.PhantomTargetAmps,
+		},
+	}
 }
 
 // Config returns the controller configuration.
@@ -213,30 +233,16 @@ func (c *Controller) Step(sensedAmps float64) Response {
 		c.stats.FirstLevelFires++
 	}
 
-	var resp Response
+	resp := &c.respNone
 	switch {
 	case c.cycle < c.level2Until:
-		resp = Response{
-			Level:             LevelSecond,
-			Throttle:          cpu.Throttle{StallIssue: true, IssueCurrentBudget: -1},
-			PhantomTargetAmps: c.cfg.PhantomTargetAmps,
-		}
+		resp = &c.respL2
 		c.stats.SecondLevelCycles++
 	case c.cycle < c.level1Until:
-		resp = Response{
-			Level: LevelFirst,
-			Throttle: cpu.Throttle{
-				IssueWidth:         c.cfg.ReducedIssueWidth,
-				CachePorts:         c.cfg.ReducedCachePorts,
-				IssueCurrentBudget: -1,
-			},
-		}
+		resp = &c.respL1
 		c.stats.FirstLevelCycles++
-	default:
-		resp = Response{Level: LevelNone, Throttle: cpu.Unlimited}
 	}
 	c.stats.Cycles++
 	c.cycle++
-	c.lastResponse = resp
-	return resp
+	return *resp
 }

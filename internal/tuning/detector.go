@@ -153,10 +153,22 @@ func NewDetector(cfg DetectorConfig) *Detector {
 	}
 	ringLen := ceilPow2(2*cfg.HalfPeriodHi + 2)
 	histLen := ceilPow2(cfg.MaxRepetitionTolerance*2*cfg.HalfPeriodHi + 1)
-	adders := make([]adder, 0, cfg.HalfPeriodHi-cfg.HalfPeriodLo+1)
+	// Consecutive half-periods share a quarter-period (qp = hp/2 truncates),
+	// so their adders see the identical window difference. The detection
+	// loop keeps the first adder that fires (later same-magnitude adders
+	// lose the mag <= maxMag comparison) and the later duplicate's larger
+	// threshold can never fire when the first one's didn't — so only the
+	// first adder per distinct quarter-period can affect the outcome, and
+	// the duplicates are dropped here. Detected events stay bit-identical
+	// to the one-adder-per-half-period build (detector_equivalence_test.go).
+	adders := make([]adder, 0, (cfg.HalfPeriodHi-cfg.HalfPeriodLo)/2+1)
 	for hp := cfg.HalfPeriodLo; hp <= cfg.HalfPeriodHi; hp++ {
+		qp := uint64(hp / 2)
+		if n := len(adders); n > 0 && adders[n-1].qp == qp {
+			continue
+		}
 		adders = append(adders, adder{
-			qp:  uint64(hp / 2),
+			qp:  qp,
 			thr: cfg.ThresholdAmps * float64(hp) / 4,
 		})
 	}

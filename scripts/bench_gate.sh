@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# bench_gate.sh — regression gate for the batched Table 3 benchmark.
+#
+# Runs BenchmarkTable3ResonanceTuning (the cold, engine-batched Table 3
+# regeneration) and compares its ns/op against the committed snapshot in
+# BENCH_sim.json, failing when the measured time regresses by more than
+# GATE_PCT percent (default 10).
+#
+# Usage:
+#   scripts/bench_gate.sh                # gate vs BENCH_sim.json at 10%
+#   GATE_PCT=25 scripts/bench_gate.sh    # looser gate (noisy runners)
+#   BASELINE=old.json scripts/bench_gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHNAME="${BENCHNAME:-BenchmarkTable3ResonanceTuning}"
+BASELINE="${BASELINE:-BENCH_sim.json}"
+GATE_PCT="${GATE_PCT:-10}"
+COUNT="${COUNT:-3}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "^${BENCHNAME}\$" -count "$COUNT" -timeout 30m . | tee "$RAW"
+
+python3 - "$RAW" "$BASELINE" "$BENCHNAME" "$GATE_PCT" <<'EOF'
+import json, re, sys
+
+raw_path, baseline_path, name, gate_pct = sys.argv[1:5]
+gate = float(gate_pct)
+
+with open(baseline_path) as f:
+    snap = json.load(f)
+base = None
+for b in snap["benchmarks"]:
+    if b["name"].split("-")[0] == name:
+        base = float(b["ns_per_op"])
+        break
+if base is None:
+    sys.exit(f"{baseline_path} has no entry for {name}")
+
+runs = []
+with open(raw_path) as f:
+    for line in f:
+        m = re.match(rf"^{name}\S*\s+\d+\s+([\d.]+) ns/op", line)
+        if m:
+            runs.append(float(m.group(1)))
+if not runs:
+    sys.exit(f"no {name} results in benchmark output")
+
+best = min(runs)  # min-of-N damps scheduler noise on shared runners
+ratio = best / base
+print(f"{name}: best of {len(runs)} runs {best/1e9:.3f} s/op "
+      f"vs snapshot {base/1e9:.3f} s/op (x{ratio:.3f}, gate +{gate:.0f}%)")
+if ratio > 1 + gate / 100:
+    sys.exit(f"FAIL: {name} regressed {100*(ratio-1):.1f}% > {gate:.0f}% gate")
+print("PASS")
+EOF
