@@ -38,6 +38,7 @@ func main() {
 		insts    = flag.Uint64("insts", 0, "instructions per application (0 = 1,000,000)")
 		parallel = flag.Int("parallel", 0, "concurrent application runs (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cache-dir", "", "persistent result-cache directory (warm runs replay finished results without simulating)")
+		cacheGC  = flag.Bool("cache-gc", false, "sweep the cache directory at startup, removing old-schema and corrupt entries")
 		traceMB  = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
 		out      = flag.String("out", "", "also write each report to <out>/<id>.txt")
 		svg      = flag.String("svg", "", "also render figures as SVG into this directory")
@@ -87,6 +88,7 @@ func main() {
 	eng := resonance.NewEngineWithOptions(resonance.EngineOptions{
 		Parallelism:  *parallel,
 		DiskCacheDir: *cacheDir,
+		DiskCacheGC:  *cacheGC,
 	})
 	opts := resonance.Options{Instructions: *insts, Parallelism: *parallel, Engine: eng}
 	var reports []resonance.Report

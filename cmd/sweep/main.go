@@ -35,9 +35,9 @@ import (
 
 func main() {
 	var (
-		appsFlag  = flag.String("apps", "lucas,swim,bzip,parser", "comma-separated application names")
-		insts     = flag.Uint64("insts", 300_000, "instructions per run")
-		techFlag  = flag.String("technique", string(engine.TechniqueTuning),
+		appsFlag = flag.String("apps", "lucas,swim,bzip,parser", "comma-separated application names")
+		insts    = flag.Uint64("insts", 300_000, "instructions per run")
+		techFlag = flag.String("technique", string(engine.TechniqueTuning),
 			"technique kind to run at each grid point (one of: "+kindList()+"); "+
 				"the -initial/-threshold/-second axes configure tuning, every other kind runs its default configuration once per app")
 		initials  = flag.String("initial", "75,100,150,200", "initial response times (cycles)")
@@ -45,6 +45,7 @@ func main() {
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache-dir", "", "persistent result-cache directory (warm re-sweeps replay finished points without simulating)")
+		cacheGC   = flag.Bool("cache-gc", false, "sweep the cache directory at startup, removing old-schema and corrupt entries")
 		traceMB   = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
 		out       = flag.String("o", "", "write CSV to this file instead of stdout")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -85,7 +86,7 @@ func main() {
 	if *traceMB != 0 {
 		workload.SharedTraces().SetBudget(*traceMB << 20)
 	}
-	eng := engine.New(engine.Options{Parallelism: *parallel, DiskCacheDir: *cacheDir})
+	eng := engine.New(engine.Options{Parallelism: *parallel, DiskCacheDir: *cacheDir, DiskCacheGC: *cacheGC})
 	if err := runSweep(context.Background(), eng, grid, w); err != nil {
 		fatal(err)
 	}

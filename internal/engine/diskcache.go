@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -50,6 +52,62 @@ func (d *diskCache) load(key Key) (sim.Result, bool) {
 		return sim.Result{}, false
 	}
 	return en.Result, true
+}
+
+// gcTmpAge is how old a tmp-* file must be before gc treats it as
+// abandoned by a crashed writer rather than in flight from a live one.
+const gcTmpAge = time.Hour
+
+// gc sweeps the cache directory, deleting files that can never be
+// served again and whose bytes would otherwise leak forever:
+//
+//   - entries written under a different diskCacheVersion — a version
+//     bump changes the Result schema, and because the spec key does not
+//     encode the schema version the old file name is never rewritten by
+//     the new version either: without a sweep v1 entries orphan forever;
+//   - corrupt entries (load already treats them as misses, but only a
+//     re-simulation of the exact same key would overwrite them);
+//   - tmp-* temp files older than gcTmpAge, abandoned by writers that
+//     died between CreateTemp and Rename.
+//
+// Everything else — fresh temp files of concurrent writers, files the
+// cache never wrote — is left alone. The sweep is best-effort: any
+// read or remove error just skips that file. It returns the number of
+// files removed.
+func (d *diskCache) gc() (removed int) {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		full := filepath.Join(d.dir, name)
+		switch {
+		case strings.HasPrefix(name, "tmp-"):
+			info, err := de.Info()
+			if err != nil || time.Since(info.ModTime()) < gcTmpAge {
+				continue
+			}
+		case strings.HasSuffix(name, ".json"):
+			blob, err := os.ReadFile(full)
+			if err != nil {
+				continue
+			}
+			var en diskEntry
+			if json.Unmarshal(blob, &en) == nil && en.Version == diskCacheVersion {
+				continue // live entry
+			}
+		default:
+			continue // not a cache file
+		}
+		if os.Remove(full) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // store writes the entry atomically: a unique temp file in the same

@@ -4,7 +4,9 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func diskSpecs() []Spec {
@@ -114,6 +116,71 @@ func TestDiskCacheIgnoresErrors(t *testing.T) {
 	}
 	if st := e2.CacheStats(); st.DiskWrites != 0 || st.Misses != 1 {
 		t.Errorf("stats with unwritable dir = %+v, want 1 miss, 0 writes", st)
+	}
+}
+
+// TestDiskCacheGC: the construction-time sweep removes exactly the
+// files that can never be served again — old-schema entries (their keys
+// differ from the current version's, so they orphan forever), corrupt
+// entries, and abandoned temp files — while live entries, fresh temp
+// files, and foreign files survive.
+func TestDiskCacheGC(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{App: "swim", Instructions: 20_000}
+	want, err := New(Options{DiskCacheDir: dir}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	v1 := write(strings.Repeat("ab", 32)+".json", `{"v":1,"result":{"App":"swim"}}`)
+	corrupt := write(strings.Repeat("cd", 32)+".json", "not json at all")
+	staleTmp := write("tmp-stale", "partial write")
+	old := time.Now().Add(-2 * gcTmpAge)
+	if err := os.Chtimes(staleTmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	freshTmp := write("tmp-fresh", "in-flight write")
+	foreign := write("NOTES.txt", "not ours")
+
+	e := New(Options{DiskCacheDir: dir, DiskCacheGC: true})
+	if st := e.CacheStats(); st.DiskGCRemoved != 3 {
+		t.Errorf("DiskGCRemoved = %d, want 3 (v1 + corrupt + stale tmp)", st.DiskGCRemoved)
+	}
+	for _, p := range []string{v1, corrupt, staleTmp} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("gc left stale file %s", filepath.Base(p))
+		}
+	}
+	for _, p := range []string{freshTmp, foreign} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("gc removed live/foreign file %s: %v", filepath.Base(p), err)
+		}
+	}
+
+	// The live current-version entry still serves from disk.
+	got, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("entry after gc diverged:\n%+v\n%+v", want, got)
+	}
+	if st := e.CacheStats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("stats after gc = %+v, want the surviving entry served from disk", st)
+	}
+
+	// Without the option, nothing is swept.
+	e2 := New(Options{DiskCacheDir: t.TempDir()})
+	if st := e2.CacheStats(); st.DiskGCRemoved != 0 {
+		t.Errorf("gc ran without DiskCacheGC: removed %d", st.DiskGCRemoved)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -27,6 +28,14 @@ type Options struct {
 	// addresses of the full normalized Spec, sharing a directory across
 	// configurations is safe.
 	DiskCacheDir string
+	// DiskCacheGC, with DiskCacheDir set, sweeps the cache directory
+	// once at engine construction, deleting files that can never be
+	// served again: entries written under another schema version (a
+	// version bump changes every key, so old entries orphan forever),
+	// corrupt entries, and abandoned tmp-* files from crashed writers.
+	// The sweep is best-effort and safe to run concurrently with other
+	// processes using the same directory.
+	DiskCacheGC bool
 }
 
 // Engine executes Specs through a bounded worker pool and memoizes their
@@ -43,12 +52,18 @@ type Engine struct {
 	slots       chan struct{}
 	disk        *diskCache
 
-	mu         sync.Mutex
-	entries    map[Key]*entry
-	hits       uint64
-	diskHits   uint64
-	misses     uint64
-	diskWrites uint64
+	mu            sync.Mutex
+	entries       map[Key]*entry
+	hits          uint64
+	diskHits      uint64
+	misses        uint64
+	diskWrites    uint64
+	diskGCRemoved uint64
+
+	// Instantaneous load accounting (see Load): simulations occupying a
+	// worker slot, and runs queued waiting for one.
+	inFlight atomic.Int64
+	queued   atomic.Int64
 
 	// Power-model memoization traffic aggregated over every simulation
 	// this engine executed (see power.MemoStats).
@@ -78,6 +93,9 @@ func New(o Options) *Engine {
 	}
 	if o.DiskCacheDir != "" {
 		e.disk = &diskCache{dir: o.DiskCacheDir}
+		if o.DiskCacheGC {
+			e.diskGCRemoved = uint64(e.disk.gc())
+		}
 	}
 	return e
 }
@@ -93,6 +111,10 @@ type CacheStats struct {
 	Hits, DiskHits, Misses uint64
 	// DiskWrites counts results persisted to the disk tier.
 	DiskWrites uint64
+	// DiskGCRemoved counts stale disk-tier files (old schema versions,
+	// corrupt entries, abandoned temp files) deleted by the
+	// construction-time sweep Options.DiskCacheGC enables.
+	DiskGCRemoved uint64
 	// Entries is the number of distinct specs cached in memory.
 	Entries int
 	// PowerMemoHits and PowerMemoLookups aggregate the power model's
@@ -111,10 +133,61 @@ func (e *Engine) CacheStats() CacheStats {
 		DiskHits:         e.diskHits,
 		Misses:           e.misses,
 		DiskWrites:       e.diskWrites,
+		DiskGCRemoved:    e.diskGCRemoved,
 		Entries:          len(e.entries),
 		PowerMemoHits:    e.powerMemoHits,
 		PowerMemoLookups: e.powerMemoLookups,
 	}
+}
+
+// LoadStats is an instantaneous snapshot of the engine's execution load,
+// the queue-depth signal a serving front-end exports.
+type LoadStats struct {
+	// InFlight is the number of simulations (a lockstep lane group
+	// counts as one, like the single machine it steps) currently
+	// occupying a worker slot.
+	InFlight int
+	// Queued is the number of runs waiting for a free slot.
+	Queued int
+}
+
+// Load returns the engine's instantaneous execution load.
+func (e *Engine) Load() LoadStats {
+	return LoadStats{InFlight: int(e.inFlight.Load()), Queued: int(e.queued.Load())}
+}
+
+// acquireSlot blocks until a worker slot frees, counting the wait in
+// Queued; it reports false when ctx is cancelled first.
+func (e *Engine) acquireSlot(ctx context.Context) bool {
+	e.queued.Add(1)
+	defer e.queued.Add(-1)
+	select {
+	case e.slots <- struct{}{}:
+		e.inFlight.Add(1)
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (e *Engine) releaseSlot() {
+	e.inFlight.Add(-1)
+	<-e.slots
+}
+
+// executeSafe is executeMeasured with panics converted into errors. The
+// engine must resolve its claimed cache entry and release its worker
+// slot on every path out of a simulation; letting a panicking grid point
+// unwind through a long-running server would instead strand waiters on
+// a never-closed entry (technique constructors are validated before
+// execution, but a panic can still escape a pathological configuration).
+func executeSafe(spec Spec) (res sim.Result, st power.MemoStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("simulation panic: %v", r)
+		}
+	}()
+	return executeMeasured(spec)
 }
 
 // addMemoStats folds one simulation's power-memoization counters into
@@ -126,32 +199,79 @@ func (e *Engine) addMemoStats(st power.MemoStats) {
 	e.mu.Unlock()
 }
 
-// Run executes one spec on the calling goroutine, serving it from the
-// memory tier when an identical spec has already run, then from the disk
-// tier when one is configured, simulating only on a miss of both. Specs
+// Run executes one spec, serving it from the memory tier when an
+// identical spec has already run, then from the disk tier when one is
+// configured, simulating only on a miss of both. Identical specs
+// submitted concurrently — from any number of goroutines or batches —
+// coalesce onto a single simulation sharing one done channel. Specs
 // carrying a Trace callback always simulate (the per-cycle side effects
 // cannot be replayed), but their result still lands in both tiers. A
 // failed simulation is evicted so a later identical spec retries instead
 // of replaying the stale error. Cancelling ctx abandons a wait on
 // another goroutine's in-flight run; a simulation already executing runs
-// to completion.
+// to completion. Simulating (but not cache service) occupies one of the
+// engine's worker slots, so direct Run traffic and batch workers share
+// the same concurrency bound.
 func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
+	return e.run(ctx, spec, true)
+}
+
+// RunKeyed is Run for callers that already computed the spec's content
+// key (e.g. a server handler that reports it per response): it skips the
+// second key derivation and shares Run's coalescing, caching, and slot
+// accounting. key must equal spec.Key(); a mismatched key would poison
+// the cache for every later consumer of that key.
+func (e *Engine) RunKeyed(ctx context.Context, key Key, spec Spec) (sim.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return sim.Result{}, err
 	}
 	if e.cacheOff {
-		res, st, err := executeMeasured(spec)
-		e.addMemoStats(st)
-		return res, err
+		return e.runUncached(ctx, spec)
+	}
+	return e.runKeyed(ctx, key, spec, true)
+}
+
+// run is Run with the slot-acquisition choice explicit: batch workers
+// already hold a slot when they reach the scalar path, so acquiring a
+// second one could deadlock a fully loaded pool.
+func (e *Engine) run(ctx context.Context, spec Spec, needSlot bool) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	if e.cacheOff {
+		if !needSlot {
+			res, st, err := executeSafe(spec)
+			e.addMemoStats(st)
+			return res, err
+		}
+		return e.runUncached(ctx, spec)
 	}
 	key, err := spec.Key()
 	if err != nil {
 		return sim.Result{}, err
 	}
-	traced := spec.Trace != nil
+	return e.runKeyed(ctx, key, spec, needSlot)
+}
+
+// runUncached executes spec under the slot bound without touching the
+// cache (DisableCache engines).
+func (e *Engine) runUncached(ctx context.Context, spec Spec) (sim.Result, error) {
+	if !e.acquireSlot(ctx) {
+		return sim.Result{}, ctx.Err()
+	}
+	defer e.releaseSlot()
+	res, st, err := executeSafe(spec)
+	e.addMemoStats(st)
+	return res, err
+}
+
+func (e *Engine) runKeyed(ctx context.Context, key Key, spec Spec, needSlot bool) (sim.Result, error) {
+	if spec.Trace != nil {
+		return e.runTraced(ctx, key, spec, needSlot)
+	}
 
 	e.mu.Lock()
-	if en, ok := e.entries[key]; ok && !traced {
+	if en, ok := e.entries[key]; ok {
 		e.hits++
 		e.mu.Unlock()
 		select {
@@ -167,7 +287,7 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 
 	// Second tier: an untraced miss may be served from disk without
 	// simulating; the loaded result is promoted into the memory tier.
-	if e.disk != nil && !traced {
+	if e.disk != nil {
 		if res, ok := e.disk.load(key); ok {
 			e.mu.Lock()
 			e.diskHits++
@@ -178,27 +298,81 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (sim.Result, error) {
 		}
 	}
 
+	// resolve publishes the claimed entry (evicting it first on failure
+	// so a later identical spec retries); it must run on every path out
+	// of here, or waiters hang forever.
+	resolve := func(res sim.Result, err error) {
+		en.res, en.err = res, err
+		if err != nil {
+			e.mu.Lock()
+			if e.entries[key] == en {
+				delete(e.entries, key)
+			}
+			e.mu.Unlock()
+		}
+		close(en.done)
+	}
+
 	e.mu.Lock()
 	e.misses++
 	e.mu.Unlock()
-	var st power.MemoStats
-	en.res, st, en.err = executeMeasured(spec)
-	e.addMemoStats(st)
-	if en.err != nil {
-		e.mu.Lock()
-		if e.entries[key] == en {
-			delete(e.entries, key)
+	if needSlot {
+		if !e.acquireSlot(ctx) {
+			resolve(sim.Result{}, ctx.Err())
+			return sim.Result{}, ctx.Err()
 		}
-		e.mu.Unlock()
-	} else if e.disk != nil {
-		if e.disk.store(key, en.res) {
+		defer e.releaseSlot()
+	}
+	res, st, err := executeSafe(spec)
+	e.addMemoStats(st)
+	resolve(res, err)
+	if err == nil && e.disk != nil {
+		if e.disk.store(key, res) {
 			e.mu.Lock()
 			e.diskWrites++
 			e.mu.Unlock()
 		}
 	}
+	return res, err
+}
+
+// runTraced executes a traced spec, which always simulates (its
+// per-cycle callback cannot be replayed from a cache). The result is
+// published on success only, and only into a vacant memory slot: a
+// traced run must never displace a live entry, because a traced failure
+// would then evict that entry while the displaced run's good result has
+// nowhere to land, and even a traced success would strand the original
+// run's waiters counting on an entry that is no longer in the map.
+func (e *Engine) runTraced(ctx context.Context, key Key, spec Spec, needSlot bool) (sim.Result, error) {
+	if needSlot {
+		if !e.acquireSlot(ctx) {
+			return sim.Result{}, ctx.Err()
+		}
+		defer e.releaseSlot()
+	}
+	e.mu.Lock()
+	e.misses++
+	e.mu.Unlock()
+	res, st, err := executeSafe(spec)
+	e.addMemoStats(st)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	en := &entry{done: make(chan struct{}), res: res}
 	close(en.done)
-	return en.res, en.err
+	e.mu.Lock()
+	if _, exists := e.entries[key]; !exists {
+		e.entries[key] = en
+	}
+	e.mu.Unlock()
+	if e.disk != nil {
+		if e.disk.store(key, res) {
+			e.mu.Lock()
+			e.diskWrites++
+			e.mu.Unlock()
+		}
+	}
+	return res, nil
 }
 
 // RunAll executes every spec through the worker pool and returns results
@@ -382,9 +556,11 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 	runItem := func(g laneGroup) {
 		if len(g.indices) == 1 && !e.cacheOff {
 			if i := g.indices[0]; owned[i] == nil {
-				// A traced spec: the scalar Run path keeps its
-				// always-simulate and entry-replacement semantics.
-				res, err := e.Run(ctx, specs[i])
+				// A traced spec: the scalar path keeps its
+				// always-simulate, publish-on-success semantics. The
+				// worker already holds a slot, so run must not acquire
+				// a second one.
+				res, err := e.run(ctx, specs[i], false)
 				if err != nil {
 					fail(i, err)
 				} else {
@@ -419,9 +595,7 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 		go func() {
 			defer wg.Done()
 			for gi := range idx {
-				select {
-				case e.slots <- struct{}{}:
-				case <-ctx.Done():
+				if !e.acquireSlot(ctx) {
 					// Drain cheaply after cancellation, still
 					// resolving every claimed entry so waiters on
 					// other batches cannot hang.
@@ -431,11 +605,32 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 					continue
 				}
 				runItem(groups[gi])
-				<-e.slots
+				e.releaseSlot()
 			}
 		}()
 	}
 	wg.Wait()
+
+	// A cancellation can stop the feeder before every group reaches a
+	// worker, leaving those groups' claimed entries unresolved — which
+	// would hang identical specs in other batches forever (they wait on
+	// this batch's done channels). Resolve the stragglers here; after
+	// wg.Wait no worker touches these entries, so the non-blocking probe
+	// is race-free.
+	for i, en := range owned {
+		select {
+		case <-en.done:
+		default:
+			err := ctx.Err()
+			if err == nil {
+				// Unreachable if the feeder and workers covered every
+				// group; guard so a future bug surfaces as an error
+				// rather than a published zero result.
+				err = errors.New("claimed entry left unresolved")
+			}
+			finish(i, sim.Result{}, err)
+		}
+	}
 
 	// Resolve waiters last: every entry this batch claimed has been
 	// closed above, so a cross-batch wait cycle cannot deadlock.

@@ -199,6 +199,36 @@ func (s Spec) normalized() (Spec, *Descriptor, error) {
 	return n, desc, nil
 }
 
+// Validate resolves the spec through the registry's Normalize path and
+// checks everything Execute would reject before simulating — unknown
+// technique kind, unusable technique section, unknown application, bad
+// synthetic-workload parameters, unusable system configuration — without
+// constructing a simulator. It is what a serving front-end runs on an
+// incoming spec so configuration mistakes surface as client errors
+// rather than failed runs.
+func (s Spec) Validate() error {
+	n, desc, err := s.normalized()
+	if err != nil {
+		return err
+	}
+	if n.Workload != nil {
+		if err := n.Workload.Validate(); err != nil {
+			return err
+		}
+	} else if _, err := workload.ByName(n.App); err != nil {
+		return err
+	}
+	if desc.Validate != nil {
+		if err := desc.Validate(&n); err != nil {
+			return err
+		}
+	}
+	if err := n.System.CPU.Validate(); err != nil {
+		return err
+	}
+	return n.System.Power.Validate()
+}
+
 // Execute builds and runs the simulation described by spec on the
 // calling goroutine, bypassing any cache. It is the single construction
 // path for every driver in the repo: the spec's technique descriptor

@@ -33,7 +33,9 @@ with open(baseline_path) as f:
     snap = json.load(f)
 base = None
 for b in snap["benchmarks"]:
-    if b["name"].split("-")[0] == name:
+    # Snapshot names carry go test's "-N" GOMAXPROCS suffix; strip only
+    # that (benchmark names themselves may contain dashes).
+    if re.sub(r"-\d+$", "", b["name"]) == name:
         base = float(b["ns_per_op"])
         break
 if base is None:
@@ -42,7 +44,7 @@ if base is None:
 runs = []
 with open(raw_path) as f:
     for line in f:
-        m = re.match(rf"^{name}\S*\s+\d+\s+([\d.]+) ns/op", line)
+        m = re.match(rf"^{re.escape(name)}(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", line)
         if m:
             runs.append(float(m.group(1)))
 if not runs:

@@ -1,0 +1,130 @@
+#!/usr/bin/env sh
+# server_smoke.sh — end-to-end smoke test for resonanced + loadgen.
+#
+# Builds both binaries, starts resonanced on a free port with a fresh
+# cache directory, and checks the full service contract:
+#
+#   1. a grid POST streams NDJSON lines in spec order, with the
+#      duplicate spec coalescing onto the first occurrence's result;
+#   2. /metrics reports exactly the expected cache traffic;
+#   3. SIGTERM drains cleanly within the deadline;
+#   4. a restart against the same cache directory serves the same grid
+#      entirely from disk (zero simulations);
+#   5. a short loadgen burst completes without errors.
+#
+# Usage: scripts/server_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/resonanced" ./cmd/resonanced
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+GRID='{"specs":[
+  {"app":"swim","instructions":30000},
+  {"app":"swim","instructions":30000,"technique":"tuning"},
+  {"app":"lucas","instructions":30000},
+  {"app":"swim","instructions":30000}
+]}'
+
+# start_server <logfile> [extra flags...] — starts resonanced on a free
+# port and sets SRV_PID and BASE_URL once it is accepting.
+start_server() {
+    LOG="$1"; shift
+    "$WORK/resonanced" -addr 127.0.0.1:0 -cache-dir "$WORK/cache" "$@" 2>"$LOG" &
+    SRV_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR="$(sed -n 's/^resonanced: listening on //p' "$LOG")"
+        [ -n "$ADDR" ] && break
+        kill -0 "$SRV_PID" 2>/dev/null || { cat "$LOG"; echo "FAIL: server died at startup"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || { cat "$LOG"; echo "FAIL: server never reported its address"; exit 1; }
+    BASE_URL="http://$ADDR"
+}
+
+# drain_server <logfile> — SIGTERM, then require exit within the drain
+# deadline and the final drained marker in the log.
+drain_server() {
+    kill -TERM "$SRV_PID"
+    for _ in $(seq 1 100); do
+        kill -0 "$SRV_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$SRV_PID" 2>/dev/null; then
+        cat "$1"; echo "FAIL: server did not drain within deadline"; exit 1
+    fi
+    wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    grep -q "^resonanced: drained$" "$1" || { cat "$1"; echo "FAIL: no drained marker"; exit 1; }
+}
+
+# check_grid <ndjson> <label> — NDJSON contract: 4 lines, in order,
+# duplicate spec shares key and result with its first occurrence.
+check_grid() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+path, label = sys.argv[1:3]
+lines = [json.loads(l) for l in open(path) if l.strip()]
+assert len(lines) == 4, f"{label}: {len(lines)} lines, want 4"
+for i, line in enumerate(lines):
+    assert line["index"] == i, f"{label}: line {i} has index {line['index']} (out of spec order)"
+    assert "error" not in line and line.get("result"), f"{label}: line {i} is not a result: {line}"
+assert lines[0]["key"] == lines[3]["key"], f"{label}: duplicate specs keyed differently"
+assert lines[0]["result"] == lines[3]["result"], f"{label}: duplicate specs diverged"
+print(f"{label}: NDJSON contract OK")
+EOF
+}
+
+# metric <name-with-labels> — reads one value from the last /metrics scrape.
+metric() {
+    awk -v k="$1 " 'index($0, k) == 1 { print substr($0, length(k) + 1) }' "$WORK/metrics.txt"
+}
+
+expect_metric() {
+    GOT="$(metric "$1")"
+    [ "$GOT" = "$2" ] || { echo "FAIL: $1 = ${GOT:-missing}, want $2"; cat "$WORK/metrics.txt"; exit 1; }
+}
+
+### Cold pass: everything simulates once, the duplicate coalesces.
+start_server "$WORK/cold.log"
+echo "cold server at $BASE_URL"
+curl -sS -X POST --data "$GRID" "$BASE_URL/v1/run" >"$WORK/cold.ndjson"
+check_grid "$WORK/cold.ndjson" cold
+curl -sS "$BASE_URL/metrics" >"$WORK/metrics.txt"
+expect_metric 'resonanced_sim_misses_total' 3
+expect_metric 'resonanced_cache_hits_total{tier="mem"}' 1
+expect_metric 'resonanced_cache_hits_total{tier="disk"}' 0
+expect_metric 'resonanced_cache_disk_writes_total' 3
+expect_metric 'resonanced_engine_inflight' 0
+curl -sS "$BASE_URL/healthz" | grep -qx ok || { echo "FAIL: healthz"; exit 1; }
+drain_server "$WORK/cold.log"
+grep -q "sim_misses=3" "$WORK/cold.log" || { cat "$WORK/cold.log"; echo "FAIL: final cache-stats line"; exit 1; }
+echo "cold pass OK (3 simulations, 1 coalesced duplicate, clean drain)"
+
+### Warm pass: same grid served entirely from the disk tier.
+start_server "$WORK/warm.log" -cache-gc
+echo "warm server at $BASE_URL"
+curl -sS -X POST --data "$GRID" "$BASE_URL/v1/run" >"$WORK/warm.ndjson"
+check_grid "$WORK/warm.ndjson" warm
+cmp -s "$WORK/cold.ndjson" "$WORK/warm.ndjson" || { echo "FAIL: warm NDJSON differs from cold"; exit 1; }
+curl -sS "$BASE_URL/metrics" >"$WORK/metrics.txt"
+expect_metric 'resonanced_sim_misses_total' 0
+expect_metric 'resonanced_cache_hits_total{tier="disk"}' 3
+echo "warm pass OK (0 simulations, byte-identical NDJSON)"
+
+### Load burst against the warm server.
+"$WORK/loadgen" -url "$BASE_URL" -duration 2s -conns 4 -population 16 -insts 20000 | tee "$WORK/loadgen.out"
+grep -q "errors=0" "$WORK/loadgen.out" || { echo "FAIL: loadgen saw errors"; exit 1; }
+drain_server "$WORK/warm.log"
+
+echo "PASS"
