@@ -9,16 +9,27 @@
 // baseline, which is just another cached run rather than a special case.
 // Rows stream to the output as points complete, in stable grid order.
 //
+// Large grids (or long instruction streams) shard across processes and
+// machines: a coordinator publishes the grid into a shared cache
+// directory and workers — forked locally or started anywhere the
+// directory is mounted — lease points, steal from stragglers, and
+// publish content-addressed results; the merged CSV is byte-identical
+// to a single-process run (see internal/shard).
+//
 // Usage:
 //
 //	sweep                                   # default grid on the heavy violators
 //	sweep -apps lucas,swim -insts 500000
 //	sweep -initial 50,100,200 -threshold 1,2 -o grid.csv
 //	sweep -parallel 4                       # bound the worker pool
+//	sweep -progress ...                     # done/total, rate, ETA on stderr
+//	sweep -coordinate -workers 2 -cache-dir /shared/d ...   # sharded sweep
+//	sweep -worker -cache-dir /shared/d      # extra worker, local or remote
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +40,7 @@ import (
 	"repro"
 	"repro/internal/engine"
 	"repro/internal/profiling"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -48,6 +60,13 @@ func main() {
 		cacheGC   = flag.Bool("cache-gc", false, "sweep the cache directory at startup, removing old-schema and corrupt entries")
 		traceMB   = flag.Int64("trace-budget-mb", 0, "workload trace store budget in MiB (0 = 1024)")
 		out       = flag.String("o", "", "write CSV to this file instead of stdout")
+		progressF = flag.Bool("progress", false, "print points done/total, completion rate, and ETA to stderr")
+		coordF    = flag.Bool("coordinate", false, "sharded mode: publish the grid to -cache-dir, fork -workers local workers, wait for completion, and merge the byte-identical CSV")
+		workersF  = flag.Int("workers", 2, "local worker processes the coordinator forks (0 = rely on remote workers sharing -cache-dir)")
+		workerF   = flag.Bool("worker", false, "sharded mode: claim and simulate points of the grid published to -cache-dir until it completes (grid flags are ignored; the manifest carries the points)")
+		leaseF    = flag.Duration("lease-expiry", shard.DefaultLeaseExpiry, "sharded mode: a lease not heartbeat-refreshed for this long is stale and may be stolen (same value on every worker)")
+		pollF     = flag.Duration("shard-poll", shard.DefaultPoll, "sharded mode: idle re-scan and completion-wait interval")
+		dieAfterF = flag.Int("die-after", 0, "TESTING: worker exits holding an unreleased lease after completing this many points (crash-recovery drills)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -73,6 +92,41 @@ func main() {
 		fatal(fmt.Errorf("-second: %w", err))
 	}
 
+	if *workerF && *coordF {
+		fatal(fmt.Errorf("-worker and -coordinate are mutually exclusive"))
+	}
+	if (*workerF || *coordF) && *cacheDir == "" {
+		fatal(fmt.Errorf("sharded modes require -cache-dir: the shared directory is the coordination substrate"))
+	}
+
+	if *traceMB != 0 {
+		workload.SharedTraces().SetBudget(*traceMB << 20)
+	}
+	eng := engine.New(engine.Options{Parallelism: *parallel, DiskCacheDir: *cacheDir, DiskCacheGC: *cacheGC})
+	sh := shardOpts{
+		cacheDir:    *cacheDir,
+		workers:     *workersF,
+		leaseExpiry: *leaseF,
+		poll:        *pollF,
+		parallel:    *parallel,
+		traceMB:     *traceMB,
+		progress:    *progressF,
+		dieAfter:    *dieAfterF,
+	}
+
+	if *workerF {
+		_, err := workerMain(context.Background(), eng, sh)
+		printStats(eng)
+		if errors.Is(err, shard.ErrAbandoned) {
+			stopProfiles()
+			os.Exit(3)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -83,13 +137,24 @@ func main() {
 		w = f
 	}
 
-	if *traceMB != 0 {
-		workload.SharedTraces().SetBudget(*traceMB << 20)
+	if *coordF {
+		if err := coordinate(context.Background(), eng, grid, w, sh); err != nil {
+			fatal(err)
+		}
+	} else {
+		m := newMeter(os.Stderr, len(grid.apps)+len(grid.points()), *progressF)
+		if err := runSweep(context.Background(), eng, grid, w, m); err != nil {
+			fatal(err)
+		}
+		m.finish()
 	}
-	eng := engine.New(engine.Options{Parallelism: *parallel, DiskCacheDir: *cacheDir, DiskCacheGC: *cacheGC})
-	if err := runSweep(context.Background(), eng, grid, w); err != nil {
-		fatal(err)
-	}
+	printStats(eng)
+}
+
+// printStats emits the end-of-run cache/trace accounting lines every
+// driver in the repo shares (the sharded smoke test greps sim_misses
+// off the coordinator's merge to prove nothing re-simulated).
+func printStats(eng *engine.Engine) {
 	cs := eng.CacheStats()
 	ts := workload.SharedTraces().Stats()
 	fmt.Fprintf(os.Stderr, "cache-stats: mem_hits=%d disk_hits=%d sim_misses=%d disk_writes=%d entries=%d\n",
@@ -200,19 +265,16 @@ const csvHeader = "app,initial_cycles,initial_threshold,second_cycles,slowdown,r
 
 // runSweep executes the grid through eng and streams CSV rows to w as
 // points complete, preserving grid order. Engine errors carry the
-// coordinates of the failing point.
-func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer) error {
+// coordinates of the failing point. m (nil = silent) ticks once per
+// completed point, baselines included.
+func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer, m *meter) error {
 	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
 		return err
 	}
 
 	// Per-app baselines are ordinary engine runs: cached, so later
 	// sweeps (or other drivers sharing the engine) reuse them for free.
-	baseSpecs := make([]engine.Spec, len(g.apps))
-	for i, app := range g.apps {
-		baseSpecs[i] = engine.Spec{App: app, Instructions: g.insts}
-	}
-	bases, err := eng.RunAll(ctx, baseSpecs, nil)
+	bases, err := eng.RunAll(ctx, baseSpecs(g), func(int, sim.Result) { m.add(1) })
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
@@ -241,6 +303,7 @@ func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer)
 		rows[i] = fmt.Sprintf("%s,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d\n",
 			p.app, p.initial, p.th, p.second, slow, energy, slow*energy,
 			base.Violations, res.Violations)
+		m.add(1)
 		done[i] = true
 		for next < len(pts) && done[next] {
 			if _, err := io.WriteString(w, rows[next]); err != nil && werr == nil {

@@ -90,7 +90,7 @@ func TestSweepMatchesSerial(t *testing.T) {
 	}
 	var got bytes.Buffer
 	eng := engine.New(engine.Options{Parallelism: 4})
-	if err := runSweep(context.Background(), eng, g, &got); err != nil {
+	if err := runSweep(context.Background(), eng, g, &got, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {
@@ -104,7 +104,7 @@ func TestSweepErrorNamesGridPoint(t *testing.T) {
 	g := tinyGrid()
 	g.apps = []string{"lucas", "no-such-app"}
 	var sink bytes.Buffer
-	err := runSweep(context.Background(), engine.New(engine.Options{}), g, &sink)
+	err := runSweep(context.Background(), engine.New(engine.Options{}), g, &sink, nil)
 	if err == nil {
 		t.Fatal("sweep accepted an unknown application")
 	}
@@ -116,7 +116,7 @@ func TestSweepErrorNamesGridPoint(t *testing.T) {
 	// carry the grid coordinates.
 	g = tinyGrid()
 	g.initials = []int{75, -1}
-	err = runSweep(context.Background(), engine.New(engine.Options{}), g, &sink)
+	err = runSweep(context.Background(), engine.New(engine.Options{}), g, &sink, nil)
 	if err == nil {
 		t.Fatal("sweep accepted a negative response time")
 	}
@@ -132,7 +132,7 @@ func TestSweepReusesBaselines(t *testing.T) {
 	g := tinyGrid()
 	eng := engine.New(engine.Options{Parallelism: 2})
 	var first bytes.Buffer
-	if err := runSweep(context.Background(), eng, g, &first); err != nil {
+	if err := runSweep(context.Background(), eng, g, &first, nil); err != nil {
 		t.Fatal(err)
 	}
 	st := eng.CacheStats()
@@ -141,7 +141,7 @@ func TestSweepReusesBaselines(t *testing.T) {
 		t.Errorf("first sweep simulated %d points, want %d", st.Misses, wantRuns)
 	}
 	var second bytes.Buffer
-	if err := runSweep(context.Background(), eng, g, &second); err != nil {
+	if err := runSweep(context.Background(), eng, g, &second, nil); err != nil {
 		t.Fatal(err)
 	}
 	st2 := eng.CacheStats()
@@ -189,7 +189,7 @@ func TestSweepTechniqueFlag(t *testing.T) {
 			t.Fatalf("technique %s: %d grid points, want one per app (%d)", kind, got, len(g.apps))
 		}
 		var out bytes.Buffer
-		if err := runSweep(context.Background(), engine.New(engine.Options{Parallelism: 2}), g, &out); err != nil {
+		if err := runSweep(context.Background(), engine.New(engine.Options{Parallelism: 2}), g, &out, nil); err != nil {
 			t.Fatalf("technique %s: %v", kind, err)
 		}
 		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -231,7 +231,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := engine.New(engine.Options{})
 		var out bytes.Buffer
-		if err := runSweep(context.Background(), eng, g, &out); err != nil {
+		if err := runSweep(context.Background(), eng, g, &out, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -243,13 +243,13 @@ func BenchmarkSweepEngineWarm(b *testing.B) {
 	g := benchGrid()
 	eng := engine.New(engine.Options{})
 	var prime bytes.Buffer
-	if err := runSweep(context.Background(), eng, g, &prime); err != nil {
+	if err := runSweep(context.Background(), eng, g, &prime, nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var out bytes.Buffer
-		if err := runSweep(context.Background(), eng, g, &out); err != nil {
+		if err := runSweep(context.Background(), eng, g, &out, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

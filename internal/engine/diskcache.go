@@ -2,7 +2,6 @@ package engine
 
 import (
 	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,7 +36,47 @@ type diskCache struct {
 // path places an entry by full content hash; two distinct specs can
 // never collide on a file.
 func (d *diskCache) path(key Key) string {
-	return filepath.Join(d.dir, fmt.Sprintf("%x.json", key[:]))
+	return filepath.Join(d.dir, key.Hex()+".json")
+}
+
+// DiskCacheHas reports whether dir holds a live (current-version,
+// decodable) entry for key — the per-point completion probe sharded
+// sweeps use: because results are published by atomic rename, a live
+// entry means the point's simulation finished somewhere and any engine
+// sharing dir will serve it without simulating.
+func DiskCacheHas(dir string, key Key) bool {
+	d := diskCache{dir: dir}
+	_, ok := d.load(key)
+	return ok
+}
+
+// DiskCacheKeys enumerates the keys of finished entries under dir with
+// a single directory read, parsing keys out of file names without
+// decoding entry bodies. A corrupt or stale-version entry is counted
+// here but treated as a miss by load — callers using this for
+// completion tracking (the sharded-sweep coordinator) tolerate that
+// because their merge path re-simulates whatever load rejects.
+func DiskCacheKeys(dir string) ([]Key, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var keys []Key
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		k, err := ParseKey(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue // not a cache entry (e.g. a foreign file)
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
 }
 
 // load returns the cached result for key, or ok=false when the entry is
@@ -70,10 +109,13 @@ const gcTmpAge = time.Hour
 //   - tmp-* temp files older than gcTmpAge, abandoned by writers that
 //     died between CreateTemp and Rename.
 //
-// Everything else — fresh temp files of concurrent writers, files the
-// cache never wrote — is left alone. The sweep is best-effort: any
-// read or remove error just skips that file. It returns the number of
-// files removed.
+// Everything else is left alone: fresh temp files of concurrent
+// writers (the mtime age guard is what makes gc at one sharded
+// worker's startup safe against another worker's in-flight write),
+// files the cache never wrote, and subdirectories (the sharded-sweep
+// coordination state — manifest and lease files — lives under shard/).
+// The sweep is best-effort: any read or remove error just skips that
+// file. It returns the number of files removed.
 func (d *diskCache) gc() (removed int) {
 	des, err := os.ReadDir(d.dir)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"reflect"
@@ -18,6 +19,24 @@ type Key [sha256.Size]byte
 
 // String renders the key as short hex for logs and error messages.
 func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// Hex renders the full content address — the form disk-cache file
+// names, sharded-sweep lease files, and the server's NDJSON lines use.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey decodes a full-hex content address as rendered by Key.Hex.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return Key{}, fmt.Errorf("engine: bad key hex: %w", err)
+	}
+	if len(b) != len(k) {
+		return Key{}, fmt.Errorf("engine: key is %d hex bytes, want %d", len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
 
 // Key returns the spec's content address. The Trace callback is not part
 // of the identity: a traced run computes the same Result as an untraced

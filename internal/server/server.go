@@ -12,20 +12,14 @@
 package server
 
 import (
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
-	"repro/internal/baselines/convctl"
-	"repro/internal/baselines/voltctl"
-	"repro/internal/baselines/wavelet"
 	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/tuning"
-	"repro/internal/workload"
 )
 
 // DefaultMaxSpecs bounds the grid size of one request.
@@ -132,40 +126,12 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// SpecRequest is the JSON wire form of one simulation spec. It mirrors
-// engine.Spec minus the Trace callback; zero-valued fields resolve to
-// the same defaults every other driver uses (Table 1 system, 1M
+// SpecRequest is the JSON wire form of one simulation spec: the
+// engine's shared wire schema (engine.SpecWire), which the sharded
+// sweep's grid manifest also speaks. Zero-valued fields resolve to the
+// same defaults every other driver uses (Table 1 system, 1M
 // instructions, base technique).
-type SpecRequest struct {
-	App            string                 `json:"app,omitempty"`
-	Instructions   uint64                 `json:"instructions,omitempty"`
-	Technique      string                 `json:"technique,omitempty"`
-	Workload       *workload.Params       `json:"workload,omitempty"`
-	System         *sim.Config            `json:"system,omitempty"`
-	Tuning         *tuning.Config         `json:"tuning,omitempty"`
-	VoltageControl *voltctl.Config        `json:"voltage_control,omitempty"`
-	Damping        *engine.DampingConfig  `json:"damping,omitempty"`
-	Convolution    *convctl.Config        `json:"convolution,omitempty"`
-	Wavelet        *wavelet.Config        `json:"wavelet,omitempty"`
-	DualBand       *engine.DualBandConfig `json:"dual_band,omitempty"`
-}
-
-// spec converts the wire form into an engine spec.
-func (r SpecRequest) spec() engine.Spec {
-	return engine.Spec{
-		App:            r.App,
-		Instructions:   r.Instructions,
-		Technique:      engine.TechniqueKind(r.Technique),
-		Workload:       r.Workload,
-		System:         r.System,
-		Tuning:         r.Tuning,
-		VoltageControl: r.VoltageControl,
-		Damping:        r.Damping,
-		Convolution:    r.Convolution,
-		Wavelet:        r.Wavelet,
-		DualBand:       r.DualBand,
-	}
-}
+type SpecRequest = engine.SpecWire
 
 // RunRequest is the POST /v1/run body: exactly one of Spec (single run)
 // or Specs (grid).
@@ -187,7 +153,7 @@ type RunLine struct {
 // keyHex renders a spec's full content address (the cache key) for the
 // wire; clients can use it to correlate or content-address results
 // themselves.
-func keyHex(k engine.Key) string { return hex.EncodeToString(k[:]) }
+func keyHex(k engine.Key) string { return k.Hex() }
 
 // errorJSON is the body of a non-streaming error response.
 type errorJSON struct {
@@ -250,7 +216,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	specs := make([]engine.Spec, len(reqs))
 	keys := make([]engine.Key, len(reqs))
 	for i, sr := range reqs {
-		specs[i] = sr.spec()
+		specs[i] = sr.Spec()
 		if err := specs[i].Validate(); err != nil {
 			httpError(w, http.StatusBadRequest, "spec %d: %v", i, err)
 			return

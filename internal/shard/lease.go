@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// leaseInfo is the JSON body of a lease file. Liveness is judged by
+// the file's mtime (refreshed by the holder's heartbeat), never by the
+// body — the body exists for release-by-holder checks and operator
+// forensics on a stuck grid.
+type leaseInfo struct {
+	// Worker identifies the current holder.
+	Worker string `json:"worker"`
+	// Claimed is when the current holder took the lease (RFC 3339).
+	Claimed string `json:"claimed"`
+	// Stolen marks a lease taken over from an expired holder.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// leasePath places point i's lease by full content key, mirroring the
+// cache tier's file-per-key layout.
+func (b *Board) leasePath(i int) string {
+	return b.leaseDir + string(os.PathSeparator) + b.Keys[i].Hex() + ".lease"
+}
+
+// claim atomically claims point i for worker id: O_EXCL creation means
+// exactly one claimant wins; everyone else sees the file exist and
+// moves on. The lease body is written after creation — a reader racing
+// the write sees an empty body, which only ever degrades a
+// release-by-holder check, never liveness (mtime is already fresh).
+func (b *Board) claim(i int, id string) bool {
+	f, err := os.OpenFile(b.leasePath(i), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false
+	}
+	json.NewEncoder(f).Encode(leaseInfo{Worker: id, Claimed: time.Now().UTC().Format(time.RFC3339Nano)})
+	f.Close()
+	return true
+}
+
+// leaseAge returns how long ago point i's lease was last refreshed;
+// held is false when no lease file exists.
+func (b *Board) leaseAge(i int) (age time.Duration, held bool) {
+	info, err := os.Stat(b.leasePath(i))
+	if err != nil {
+		return 0, false
+	}
+	return time.Since(info.ModTime()), true
+}
+
+// steal takes over point i's lease for worker id by atomically
+// replacing the lease file. The caller has observed the lease expired;
+// the replacement resets the mtime, so concurrent stealers re-race on
+// a fresh lease and at most a bounded amount of duplicate work happens
+// — which idempotent, content-addressed results make harmless.
+func (b *Board) steal(i int, id string) bool {
+	blob, err := json.Marshal(leaseInfo{Worker: id, Claimed: time.Now().UTC().Format(time.RFC3339Nano), Stolen: true})
+	if err != nil {
+		return false
+	}
+	return atomicWrite(b.leasePath(i), blob) == nil
+}
+
+// refresh is the holder's heartbeat: bump the lease mtime so idle
+// workers keep counting it live. Best-effort — if the lease was stolen
+// and released meanwhile, the refresh fails silently and the holder
+// finds out at release time.
+func (b *Board) refresh(i int) {
+	now := time.Now()
+	os.Chtimes(b.leasePath(i), now, now)
+}
+
+// release removes point i's lease if id still holds it. A lease that
+// was stolen while this holder (slowly) finished belongs to the thief
+// now and is left alone; the thief's own run will release it. The
+// holder check is best-effort (read then remove, not atomic): the
+// window is microseconds against an expiry measured in seconds, and
+// the worst outcome of losing the race — one more worker re-running an
+// already-finished, disk-served point — is harmless by idempotency.
+func (b *Board) release(i int, id string) {
+	path := b.leasePath(i)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var li leaseInfo
+	if err := json.Unmarshal(blob, &li); err == nil && li.Worker != id {
+		return
+	}
+	os.Remove(path)
+}

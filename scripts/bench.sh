@@ -18,13 +18,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkCoreStep|BenchmarkDetectorStep|BenchmarkPowerStep|BenchmarkStepCycle|BenchmarkBatchKernelLockstep|BenchmarkTable3ResonanceTuning|BenchmarkTable3WarmDiskCache|BenchmarkRelatedSuiteWarm|BenchmarkFig5Comparison|BenchmarkGeneratorNext|BenchmarkTraceSourceNext}"
+BENCH="${BENCH:-BenchmarkCoreStep|BenchmarkDetectorStep|BenchmarkPowerStep|BenchmarkStepCycle|BenchmarkBatchKernelLockstep|BenchmarkTable3ResonanceTuning|BenchmarkTable3WarmDiskCache|BenchmarkRelatedSuiteWarm|BenchmarkFig5Comparison|BenchmarkGeneratorNext|BenchmarkTraceSourceNext|BenchmarkSweepSharded}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_sim.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$BENCH" -count "$COUNT" "$@" . | tee "$RAW"
+go test -run '^$' -bench "$BENCH" -count "$COUNT" "$@" . ./cmd/sweep | tee "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
