@@ -192,7 +192,16 @@ func BenchmarkCoreStep(b *testing.B) {
 	src := cyclingTrace{workload.Materialize(app.Params, 1<<20).Source()}
 	core := cpu.New(cpu.DefaultConfig(), src)
 	var act cpu.Activity
+	// The steady-state step must not allocate at all; without this guard
+	// (and the ResetTimer below excluding trace materialization) the
+	// setup's allocations amortize into a misleading non-zero B/op.
+	if n := testing.AllocsPerRun(1000, func() {
+		core.StepInto(cpu.Unlimited, &act)
+	}); n != 0 {
+		b.Fatalf("core step allocates %.1f times per cycle, want 0", n)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.StepInto(cpu.Unlimited, &act)
 	}
@@ -272,11 +281,47 @@ func BenchmarkBatchKernelLockstep(b *testing.B) {
 			cfg := DefaultTuningConfig(ini)
 			lanes = append(lanes, batchkernel.Lane{Tech: sim.NewResonanceTuning(cfg)})
 		}
-		outs := batchkernel.Run(m, "gzip", lanes)
+		outs, _ := batchkernel.Run(m, "gzip", lanes)
 		for j := range outs {
 			if outs[j].Status == batchkernel.Failed {
 				b.Fatalf("lane %d failed: %v", j, outs[j].Err)
 			}
+		}
+	}
+}
+
+// BenchmarkBatchKernelForked measures the kernel on a loud application
+// whose tuning lanes respond and diverge: the group decays into forked
+// cohorts mid-run, so the cost includes machine deep-copies and the
+// post-divergence scalar-speed suffixes — the packer's realistic case,
+// against BenchmarkBatchKernelLockstep's never-diverge best case.
+func BenchmarkBatchKernelForked(b *testing.B) {
+	app, err := workload.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const insts = 60_000
+	tr := workload.Materialize(app.Params, insts)
+	inis := []int{75, 100, 125, 150, 200, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.NewMachine(sim.DefaultConfig(), tr.Source())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lanes := make([]batchkernel.Lane, 1, 1+len(inis))
+		for _, ini := range inis {
+			cfg := DefaultTuningConfig(ini)
+			lanes = append(lanes, batchkernel.Lane{Tech: sim.NewResonanceTuning(cfg)})
+		}
+		outs, stats := batchkernel.Run(m, "swim", lanes)
+		for j := range outs {
+			if outs[j].Status != batchkernel.Finished {
+				b.Fatalf("lane %d: %v: %v", j, outs[j].Status, outs[j].Err)
+			}
+		}
+		if stats.LanesForked == 0 {
+			b.Fatal("no lane forked; benchmark no longer measures divergence handling")
 		}
 	}
 }

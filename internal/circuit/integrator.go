@@ -77,6 +77,14 @@ func (s *Simulator) Reset(i0 float64) {
 	s.cycle = 0
 }
 
+// Fork returns an independent copy of the simulator continuing from the
+// same electrical state: stepping both with identical current sequences
+// produces bit-identical deviations.
+func (s *Simulator) Fork() *Simulator {
+	f := *s
+	return &f
+}
+
 // Params returns the supply parameters the simulator was built with.
 func (s *Simulator) Params() Params { return s.p }
 

@@ -160,6 +160,13 @@ func (s *TwoStageSimulator) Reset(i0 float64) {
 	s.cycle = 0
 }
 
+// Fork returns an independent copy of the simulator continuing from the
+// same electrical state, mirroring Simulator.Fork.
+func (s *TwoStageSimulator) Fork() *TwoStageSimulator {
+	f := *s
+	return &f
+}
+
 // Params returns the network parameters.
 func (s *TwoStageSimulator) Params() TwoStageParams { return s.p }
 

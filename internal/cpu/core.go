@@ -168,6 +168,30 @@ func New(cfg Config, src Source) *Core {
 	return c
 }
 
+// Fork returns a deep copy of the core that can be stepped
+// independently of the original: identical throttle sequences applied to
+// both produce bit-identical Activity streams (the contract
+// sim.Machine.Fork builds on). The instruction source must implement
+// ForkableSource so the clone continues the stream from the same
+// position; Fork returns an error otherwise.
+func (c *Core) Fork() (*Core, error) {
+	fs, ok := c.src.(ForkableSource)
+	if !ok {
+		return nil, fmt.Errorf("cpu: source %T is not forkable", c.src)
+	}
+	f := *c
+	f.src = fs.Fork()
+	f.bulk = nil
+	if b, ok := f.src.(BulkSource); ok {
+		f.bulk = b
+	}
+	f.rob = append([]robEntry(nil), c.rob...)
+	f.ready = append([]uint64(nil), c.ready...)
+	f.wheel = append([]int32(nil), c.wheel...)
+	f.fq = append([]Inst(nil), c.fq...)
+	return &f, nil
+}
+
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
 

@@ -108,6 +108,17 @@ type BulkSource interface {
 	NextN(dst []Inst) int
 }
 
+// ForkableSource is an optional Source extension for sources whose
+// cursor state can be duplicated mid-stream. Fork returns an
+// independent source that continues from the same position and yields
+// exactly the same remaining instructions; the original is unaffected.
+// Core.Fork (and through it sim.Machine.Fork) requires its source to be
+// forkable.
+type ForkableSource interface {
+	Source
+	Fork() Source
+}
+
 // SliceSource adapts a fixed instruction slice to the Source interface.
 // It is mainly useful in tests.
 type SliceSource struct {
@@ -128,6 +139,13 @@ func (s *SliceSource) Next() (Inst, bool) {
 	i := s.insts[s.pos]
 	s.pos++
 	return i, true
+}
+
+// Fork implements ForkableSource: the instruction slice is never
+// written, so the copies share it and advance independent cursors.
+func (s *SliceSource) Fork() Source {
+	c := *s
+	return &c
 }
 
 // RepeatSource yields a fixed pattern of instructions cyclically, up to a
@@ -152,4 +170,11 @@ func (s *RepeatSource) Next() (Inst, bool) {
 	i := s.pattern[s.n%uint64(len(s.pattern))]
 	s.n++
 	return i, true
+}
+
+// Fork implements ForkableSource: the pattern is read-only, so the
+// copies share it and count down independently.
+func (s *RepeatSource) Fork() Source {
+	c := *s
+	return &c
 }

@@ -103,6 +103,13 @@ func (t *TraceSource) NextN(dst []Inst) int {
 	return n
 }
 
+// Fork implements ForkableSource: the backing trace slices are shared
+// read-only, so forking is a cursor copy.
+func (t *TraceSource) Fork() Source {
+	c := *t
+	return &c
+}
+
 // Len returns the number of instructions in the trace.
 func (t *TraceSource) Len() int { return len(t.meta) }
 

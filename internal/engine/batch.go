@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"repro/internal/engine/batchkernel"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -59,12 +58,14 @@ func packGroups(specs []Spec, indices []int) []laneGroup {
 	return groups
 }
 
-// runGroup executes one multi-lane group through the lockstep kernel,
-// re-running diverged lanes on the scalar path, and reports every spec
-// through finish exactly once. Lanes that cannot even be built fall back
-// to scalar execution for a properly attributed error. memo receives the
-// group machine's power-memoization counters.
-func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int, res sim.Result, err error), memo func(power.MemoStats)) {
+// runGroup executes one multi-lane group through the lockstep kernel —
+// diverging lanes resume on forked machines inside the kernel, and only
+// lanes whose machine could not be forked re-run on the scalar path —
+// and reports every spec through finish exactly once. Lanes that cannot
+// even be built fall back to scalar execution for a properly attributed
+// error. report receives the kernel's divergence and power-memoization
+// counters (scalar runs report memo traffic only).
+func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int, res sim.Result, err error), report func(batchkernel.Stats)) {
 	scalar := func(indices []int) {
 		for _, i := range indices {
 			if err := ctx.Err(); err != nil {
@@ -72,7 +73,7 @@ func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int,
 				continue
 			}
 			res, st, err := executeMeasured(specs[i])
-			memo(st)
+			report(batchkernel.Stats{PowerMemo: st})
 			finish(i, res, err)
 		}
 	}
@@ -135,8 +136,8 @@ func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int,
 		scalar(laneIdx)
 		return
 	}
-	outcomes := batchkernel.Run(m, n0.App, lanes)
-	memo(m.Power().MemoStats())
+	outcomes, stats := batchkernel.Run(m, n0.App, lanes)
+	report(stats)
 	var rerun []int
 	for li, out := range outcomes {
 		switch out.Status {
@@ -144,7 +145,7 @@ func runGroup(ctx context.Context, specs []Spec, g laneGroup, finish func(i int,
 			finish(laneIdx[li], out.Result, nil)
 		case batchkernel.Failed:
 			finish(laneIdx[li], sim.Result{}, out.Err)
-		default: // Diverged: this lane's trajectory left the group's
+		default: // Diverged on an unforkable machine: scalar fallback
 			rerun = append(rerun, laneIdx[li])
 		}
 	}

@@ -5,11 +5,14 @@ package engine
 // The scalar loop (sim.Simulator) is the frozen reference, in the style
 // of internal/cpu/scanref_test.go: every lane of a lockstep group must
 // observe, cycle for cycle, bit-identical Observations (including the
-// full cpu.Activity) and TracePoints to a scalar run of the same spec.
-// Lanes that survive to the end must also produce an identical Result;
-// lanes removed as Diverged must have observed exactly the scalar run's
-// prefix up to the divergence cycle (the engine re-runs them scalar, so
-// prefix identity is what makes the fallback sound).
+// full cpu.Activity) and TracePoints to a scalar run of the same spec,
+// and produce an identical Result. Since the kernel forks diverging
+// lanes onto machine copies, this holds for every lane — the lockstep
+// prefix comes from the shared machine and the post-divergence suffix
+// from the lane's fork, and the concatenation must be indistinguishable
+// from the scalar run. The matrix must exercise real forks (and lanes
+// that never fork) for the assertion to mean anything; the coverage
+// check at the bottom enforces that.
 
 import (
 	"fmt"
@@ -137,8 +140,8 @@ func scalarReference(t *testing.T, spec Spec) ([]cycleRecord, []sim.TracePoint, 
 }
 
 // batchedLanes runs all specs as one lockstep group, returning per-lane
-// records, trace points, and outcomes.
-func batchedLanes(t *testing.T, specs []Spec) ([][]cycleRecord, [][]sim.TracePoint, []batchkernel.Outcome) {
+// records, trace points, outcomes, and the kernel's divergence stats.
+func batchedLanes(t *testing.T, specs []Spec) ([][]cycleRecord, [][]sim.TracePoint, []batchkernel.Outcome, batchkernel.Stats) {
 	t.Helper()
 	n0, _, err := specs[0].normalized()
 	if err != nil {
@@ -171,12 +174,18 @@ func batchedLanes(t *testing.T, specs []Spec) ([][]cycleRecord, [][]sim.TracePoi
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := batchkernel.Run(m, n0.App, lanes)
+	outs, stats := batchkernel.Run(m, n0.App, lanes)
 	out := make([][]cycleRecord, len(specs))
 	for i := range recs {
 		out[i] = recs[i].recs
+		// The recorder is the Technique the kernel saw, so its stats (all
+		// zero) land in the result; re-derive them from the inner
+		// technique, exactly as scalarReference does for the scalar loop.
+		if outs[i].Status == batchkernel.Finished {
+			outs[i].Result.Tech = sim.TechStatsOf(recs[i].inner)
+		}
 	}
-	return out, tps, outs
+	return out, tps, outs, stats
 }
 
 // kindSpecs returns one spec per registered technique kind over the
@@ -198,47 +207,53 @@ func kindSpecs(c diffCase) []Spec {
 
 // TestBatchKernelMatchesScalarReference is the differential harness: all
 // seven registered technique kinds ride one lockstep group per
-// (config, seed) cell and every lane must be bit-identical to its scalar
-// reference run — the full stream for survivors, the exact prefix up to
-// the divergence cycle for diverged lanes.
+// (config, seed) cell and every lane must finish — resuming on a forked
+// machine when its decisions diverge — bit-identical to its scalar
+// reference run: the full observation stream, the full trace stream, and
+// the Result.
 func TestBatchKernelMatchesScalarReference(t *testing.T) {
 	if len(Kinds()) != 7 {
 		t.Fatalf("expected 7 registered technique kinds, have %v", Kinds())
 	}
-	var finished, diverged int
+	var lockstep, forked, regrouped uint64
 	for _, c := range diffMatrix(t) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			specs := kindSpecs(c)
-			bRecs, bTps, outs := batchedLanes(t, specs)
+			bRecs, bTps, outs, stats := batchedLanes(t, specs)
 			for i, spec := range specs {
 				sRecs, sTps, sRes := scalarReference(t, spec)
 				name := string(Kinds()[i])
-				switch outs[i].Status {
-				case batchkernel.Finished:
-					finished++
-					compareRecords(t, name, bRecs[i], sRecs, len(sRecs))
-					compareTraces(t, name, bTps[i], sTps, len(sTps))
-					if outs[i].Result != sRes {
-						t.Errorf("%s: batched result %+v != scalar %+v", name, outs[i].Result, sRes)
-					}
-				case batchkernel.Diverged:
-					diverged++
-					d := int(outs[i].DivergedAt)
-					if len(bRecs[i]) != d {
-						t.Errorf("%s: diverged at %d but observed %d cycles", name, d, len(bRecs[i]))
-					}
-					compareRecords(t, name, bRecs[i], sRecs, d)
-					compareTraces(t, name, bTps[i], sTps, d)
-				default:
+				if outs[i].Status != batchkernel.Finished {
 					t.Errorf("%s: unexpected outcome %v (%v)", name, outs[i].Status, outs[i].Err)
+					continue
+				}
+				if outs[i].Forks > 0 {
+					forked++
+				} else {
+					lockstep++
+				}
+				if len(bRecs[i]) != len(sRecs) {
+					t.Errorf("%s: observed %d cycles, scalar %d", name, len(bRecs[i]), len(sRecs))
+				}
+				compareRecords(t, name, bRecs[i], sRecs, len(sRecs))
+				compareTraces(t, name, bTps[i], sTps, len(sTps))
+				if outs[i].Result != sRes {
+					t.Errorf("%s: batched result %+v != scalar %+v", name, outs[i].Result, sRes)
 				}
 			}
+			regrouped += stats.LanesForked - stats.CohortsForked
 		})
 	}
-	// The matrix must exercise both sides of the contract.
-	if finished == 0 || diverged == 0 {
-		t.Fatalf("matrix lacks coverage: %d finished, %d diverged lanes", finished, diverged)
+	// The matrix must exercise both sides of the contract: lanes that
+	// ride the original machine the whole way and lanes that resume on
+	// forks — including forks shared by several lanes (a re-formed
+	// lockstep cohort), which is where regrouping bugs would hide.
+	if lockstep == 0 || forked == 0 {
+		t.Fatalf("matrix lacks coverage: %d lockstep, %d forked lanes", lockstep, forked)
+	}
+	if regrouped == 0 {
+		t.Fatalf("matrix lacks coverage: no fork was shared by multiple lanes (no cohort regrouping)")
 	}
 }
 
@@ -269,6 +284,33 @@ func compareTraces(t *testing.T, name string, got, want []sim.TracePoint, n int)
 			t.Errorf("%s: trace point %d: batched %+v != scalar %+v", name, cyc, got[cyc], want[cyc])
 			return
 		}
+	}
+}
+
+// TestCacheStatsCountsForks pins the divergence observability: RunAll
+// over a loud application's technique suite — whose lanes demonstrably
+// fork (see the differential matrix) — must surface the kernel's
+// divergence counters in CacheStats.
+func TestCacheStatsCountsForks(t *testing.T) {
+	app, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []Spec
+	for _, k := range Kinds() {
+		p := app.Params
+		specs = append(specs, Spec{Workload: &p, Instructions: 5000, Technique: k})
+	}
+	eng := New(Options{Parallelism: 2})
+	if _, err := eng.RunAll(t.Context(), specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.LanesForked == 0 || st.CohortsReformed == 0 || st.ForkCyclesSaved == 0 {
+		t.Fatalf("divergence counters not populated: %+v", st)
+	}
+	if st.LanesForked < st.CohortsReformed {
+		t.Fatalf("more cohorts (%d) than forked lanes (%d)", st.CohortsReformed, st.LanesForked)
 	}
 }
 

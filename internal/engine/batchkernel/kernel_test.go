@@ -1,11 +1,13 @@
 package batchkernel_test
 
-// Lane-count edge cases for the lockstep kernel, each checked against a
-// fresh scalar run of the same scripted technique: K=1 (no lockstep
-// peers at all), K=5 (non-power-of-two, mixed divergence), K=9 (more
-// lanes than distinct behaviours, so duplicates must stay in lockstep
-// together), and a lane panicking mid-batch (the rest of the group must
-// finish and still match scalar).
+// Lane-count and divergence edge cases for the lockstep kernel, each
+// checked against a fresh scalar run of the same scripted technique:
+// K=1 (no lockstep peers at all), K=5 (non-power-of-two, forks at three
+// different cycles), K=9 (more lanes than distinct behaviours, so
+// duplicates must stay in lockstep — and fork — together), cascading
+// re-splits (a forked cohort splitting again), a lane panicking
+// mid-batch and another panicking after it forked, and an unforkable
+// instruction source (the Diverged scalar-fallback path).
 
 import (
 	"strings"
@@ -38,15 +40,25 @@ func edgeSource() cpu.Source {
 	return cpu.NewRepeatSource(edgePattern(), edgeInsts)
 }
 
+// unforkableSource hides the underlying source's Fork method, forcing
+// Machine.Fork to fail so the kernel's Diverged fallback is reachable.
+type unforkableSource struct {
+	inner cpu.Source
+}
+
+func (u *unforkableSource) Next() (cpu.Inst, bool) { return u.inner.Next() }
+
 // scriptTech is a deterministic scripted technique: it runs unthrottled
-// except from cycle throttleFrom on, where it halves the issue width —
-// and optionally panics in Next at panicAt. Cycle position is driven by
+// except from cycle throttleFrom on, where it halves the issue width,
+// and from throttleFrom2 on (when set), where it quarters it — and
+// optionally panics in Next at panicAt. Cycle position is driven by
 // Observe calls, exactly as for a real technique.
 type scriptTech struct {
-	name         string
-	throttleFrom uint64 // 0 = never throttle
-	panicAt      uint64 // 0 = never panic
-	cycle        uint64
+	name          string
+	throttleFrom  uint64 // 0 = never throttle
+	throttleFrom2 uint64 // 0 = no second phase
+	panicAt       uint64 // 0 = never panic
+	cycle         uint64
 
 	recs []obsRecord
 }
@@ -63,6 +75,9 @@ func (s *scriptTech) Next() (cpu.Throttle, sim.Phantom) {
 	if s.panicAt != 0 && s.cycle >= s.panicAt {
 		panic("scripted panic")
 	}
+	if s.throttleFrom2 != 0 && s.cycle >= s.throttleFrom2 {
+		return cpu.Throttle{IssueWidth: 2, CachePorts: 1, IssueCurrentBudget: -1}, sim.Phantom{}
+	}
 	if s.throttleFrom != 0 && s.cycle >= s.throttleFrom {
 		return cpu.Throttle{IssueWidth: 4, CachePorts: 1, IssueCurrentBudget: -1}, sim.Phantom{}
 	}
@@ -78,7 +93,7 @@ func (s *scriptTech) Observe(obs *sim.Observation) {
 
 // clone returns a fresh technique with the same script and no state.
 func (s *scriptTech) clone() *scriptTech {
-	return &scriptTech{name: s.name, throttleFrom: s.throttleFrom, panicAt: s.panicAt}
+	return &scriptTech{name: s.name, throttleFrom: s.throttleFrom, throttleFrom2: s.throttleFrom2, panicAt: s.panicAt}
 }
 
 // scalarRun replays one scripted lane on the frozen scalar Simulator.
@@ -103,9 +118,14 @@ func scalarRun(t *testing.T, tech *scriptTech) ([]obsRecord, sim.Result) {
 
 // runGroup steps the given scripts as one lockstep group. A nil script
 // is the base (uncontrolled) lane.
-func runGroup(t *testing.T, scripts []*scriptTech) ([]*scriptTech, []batchkernel.Outcome) {
+func runGroup(t *testing.T, scripts []*scriptTech) ([]*scriptTech, []batchkernel.Outcome, batchkernel.Stats) {
 	t.Helper()
-	m, err := sim.NewMachine(sim.DefaultConfig(), edgeSource())
+	return runGroupOn(t, scripts, edgeSource())
+}
+
+func runGroupOn(t *testing.T, scripts []*scriptTech, src cpu.Source) ([]*scriptTech, []batchkernel.Outcome, batchkernel.Stats) {
+	t.Helper()
+	m, err := sim.NewMachine(sim.DefaultConfig(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,36 +135,41 @@ func runGroup(t *testing.T, scripts []*scriptTech) ([]*scriptTech, []batchkernel
 			lanes[i] = batchkernel.Lane{Tech: sc, TechName: sc.name}
 		}
 	}
-	return scripts, batchkernel.Run(m, "edge", lanes)
+	outs, stats := batchkernel.Run(m, "edge", lanes)
+	return scripts, outs, stats
 }
 
-// checkLane asserts a lane's outcome against its scalar reference:
-// Finished lanes must match the full scalar stream and Result; Diverged
-// lanes must have observed exactly the scalar prefix up to DivergedAt.
-func checkLane(t *testing.T, label string, sc *scriptTech, out batchkernel.Outcome, wantDiverged bool) {
+// checkLane asserts a Finished lane against its scalar reference: the
+// full observation stream and the Result must match bit for bit, whether
+// the lane rode the original machine the whole way (wantForkAt == 0) or
+// resumed on forks (wantForkAt == the cycle of its first fork).
+func checkLane(t *testing.T, label string, sc *scriptTech, out batchkernel.Outcome, wantForkAt uint64) {
 	t.Helper()
+	if out.Status != batchkernel.Finished {
+		t.Errorf("%s: outcome %v (divergedAt=%d err=%v), want finished", label, out.Status, out.DivergedAt, out.Err)
+		return
+	}
+	switch {
+	case wantForkAt == 0 && out.Forks != 0:
+		t.Errorf("%s: forked %d times (first at %d), want lockstep throughout", label, out.Forks, out.FirstForkAt)
+	case wantForkAt != 0 && out.Forks == 0:
+		t.Errorf("%s: never forked, want first fork at %d", label, wantForkAt)
+	case wantForkAt != 0 && out.FirstForkAt != wantForkAt:
+		t.Errorf("%s: first fork at %d, want %d", label, out.FirstForkAt, wantForkAt)
+	}
 	var ref *scriptTech
 	if sc != nil {
 		ref = sc.clone()
 	}
 	sRecs, sRes := scalarRun(t, ref)
-	switch {
-	case !wantDiverged && out.Status == batchkernel.Finished:
-		if sc != nil {
-			compareObs(t, label, sc.recs, sRecs, len(sRecs))
+	if sc != nil {
+		compareObs(t, label, sc.recs, sRecs, len(sRecs))
+		if len(sc.recs) != len(sRecs) {
+			t.Errorf("%s: observed %d cycles, scalar %d", label, len(sc.recs), len(sRecs))
 		}
-		if out.Result != sRes {
-			t.Errorf("%s: batched result %+v != scalar %+v", label, out.Result, sRes)
-		}
-	case wantDiverged && out.Status == batchkernel.Diverged:
-		d := int(out.DivergedAt)
-		if len(sc.recs) != d {
-			t.Errorf("%s: diverged at %d but observed %d cycles", label, d, len(sc.recs))
-		}
-		compareObs(t, label, sc.recs, sRecs, d)
-	default:
-		t.Errorf("%s: outcome %v (divergedAt=%d err=%v), wantDiverged=%v",
-			label, out.Status, out.DivergedAt, out.Err, wantDiverged)
+	}
+	if out.Result != sRes {
+		t.Errorf("%s: batched result %+v != scalar %+v", label, out.Result, sRes)
 	}
 }
 
@@ -165,44 +190,52 @@ func compareObs(t *testing.T, label string, got, want []obsRecord, n int) {
 // TestSingleLane runs K=1: no peers, no lockstep checks, and the result
 // must equal the scalar base run bit for bit.
 func TestSingleLane(t *testing.T) {
-	scripts, outs := runGroup(t, []*scriptTech{nil})
-	checkLane(t, "base", scripts[0], outs[0], false)
+	scripts, outs, stats := runGroup(t, []*scriptTech{nil})
+	checkLane(t, "base", scripts[0], outs[0], 0)
+	if stats.LanesForked != 0 || stats.CohortsForked != 0 {
+		t.Errorf("stats %+v, want no forks for K=1", stats)
+	}
 }
 
 // TestSingleScriptedLane runs K=1 with an active technique.
 func TestSingleScriptedLane(t *testing.T) {
-	scripts, outs := runGroup(t, []*scriptTech{{name: "th40", throttleFrom: 40}})
-	checkLane(t, "th40", scripts[0], outs[0], false)
+	scripts, outs, _ := runGroup(t, []*scriptTech{{name: "th40", throttleFrom: 40}})
+	checkLane(t, "th40", scripts[0], outs[0], 0)
 }
 
 // TestFiveLanesMixedDivergence runs K=5 (non-power-of-two): the leader
 // and one twin stay in lockstep for the whole stream while three lanes
-// throttle at different cycles and must be cut at exactly those cycles.
+// throttle at different cycles, forking off at exactly those cycles and
+// finishing bit-identical to scalar on their own machines.
 func TestFiveLanesMixedDivergence(t *testing.T) {
-	scripts, outs := runGroup(t, []*scriptTech{
+	scripts, outs, stats := runGroup(t, []*scriptTech{
 		nil,
 		{name: "th30", throttleFrom: 30},
 		{name: "quiet", throttleFrom: 0},
 		{name: "th75", throttleFrom: 75},
 		{name: "th200", throttleFrom: 200},
 	})
-	checkLane(t, "base", scripts[0], outs[0], false)
-	checkLane(t, "th30", scripts[1], outs[1], true)
-	checkLane(t, "quiet", scripts[2], outs[2], false)
-	checkLane(t, "th75", scripts[3], outs[3], true)
-	checkLane(t, "th200", scripts[4], outs[4], true)
-	for i, want := range []uint64{0, 30, 0, 75, 200} {
-		if want != 0 && outs[i].DivergedAt != want {
-			t.Errorf("lane %d: diverged at %d, want %d", i, outs[i].DivergedAt, want)
+	for i, forkAt := range []uint64{0, 30, 0, 75, 200} {
+		label := "base"
+		if scripts[i] != nil {
+			label = scripts[i].name
 		}
+		checkLane(t, label, scripts[i], outs[i], forkAt)
+	}
+	if stats.LanesForked != 3 || stats.CohortsForked != 3 {
+		t.Errorf("stats %+v, want 3 lanes forked into 3 cohorts", stats)
+	}
+	if want := uint64(30 + 75 + 200); stats.CyclesSaved != want {
+		t.Errorf("cycles saved %d, want %d", stats.CyclesSaved, want)
 	}
 }
 
 // TestNineLanesWithDuplicates runs K=9, more lanes than distinct
-// behaviours: duplicated scripts decide identically every cycle, so all
-// copies must finish (or diverge) together and match scalar.
+// behaviours: the th50 triplet decides identically every cycle, so all
+// three must fork at cycle 50 onto ONE shared machine — a re-formed
+// lockstep cohort — and still finish bit-identical to scalar.
 func TestNineLanesWithDuplicates(t *testing.T) {
-	scripts, outs := runGroup(t, []*scriptTech{
+	scripts, outs, stats := runGroup(t, []*scriptTech{
 		nil,
 		{name: "quiet-a", throttleFrom: 0},
 		{name: "quiet-b", throttleFrom: 0},
@@ -213,17 +246,50 @@ func TestNineLanesWithDuplicates(t *testing.T) {
 		nil,
 		{name: "th90", throttleFrom: 90},
 	})
-	for i, wantDiverged := range []bool{false, false, false, false, true, true, true, false, true} {
+	for i, forkAt := range []uint64{0, 0, 0, 0, 50, 50, 50, 0, 90} {
 		label := "base"
 		if scripts[i] != nil {
 			label = scripts[i].name
 		}
-		checkLane(t, label, scripts[i], outs[i], wantDiverged)
+		checkLane(t, label, scripts[i], outs[i], forkAt)
 	}
-	// The three th50 twins all left at the same cycle.
-	if outs[4].DivergedAt != 50 || outs[5].DivergedAt != 50 || outs[6].DivergedAt != 50 {
-		t.Errorf("th50 twins diverged at %d/%d/%d, want 50",
-			outs[4].DivergedAt, outs[5].DivergedAt, outs[6].DivergedAt)
+	// The triplet split at one cycle with one decision: one fork serves
+	// all three, plus one for th90.
+	if stats.CohortsForked != 2 {
+		t.Errorf("cohorts forked %d, want 2 (th50 triplet regrouped + th90)", stats.CohortsForked)
+	}
+	if stats.LanesForked != 4 {
+		t.Errorf("lanes forked %d, want 4", stats.LanesForked)
+	}
+}
+
+// TestCascadingResplit scripts a fork of a fork: two lanes leave the
+// root cohort together at cycle 40 (same decision, one shared fork),
+// then their second throttle phases differ, splitting the forked cohort
+// again at cycle 80. Both must still finish bit-identical to scalar.
+func TestCascadingResplit(t *testing.T) {
+	scripts, outs, stats := runGroup(t, []*scriptTech{
+		nil,
+		{name: "casc-a", throttleFrom: 40, throttleFrom2: 80},
+		{name: "casc-b", throttleFrom: 40, throttleFrom2: 120},
+	})
+	checkLane(t, "base", scripts[0], outs[0], 0)
+	checkLane(t, "casc-a", scripts[1], outs[1], 40)
+	checkLane(t, "casc-b", scripts[2], outs[2], 40)
+	// casc-a leads the forked cohort, so casc-b is the lane that forks
+	// again when the second phases part ways at cycle 80.
+	if outs[1].Forks != 1 {
+		t.Errorf("casc-a forks %d, want 1", outs[1].Forks)
+	}
+	if outs[2].Forks != 2 {
+		t.Errorf("casc-b forks %d, want 2 (cascade)", outs[2].Forks)
+	}
+	if stats.CohortsForked != 2 || stats.LanesForked != 3 {
+		t.Errorf("stats %+v, want 2 cohorts / 3 lane moves", stats)
+	}
+	// CyclesSaved counts first forks only: both lanes' prefix was 40.
+	if want := uint64(40 + 40); stats.CyclesSaved != want {
+		t.Errorf("cycles saved %d, want %d", stats.CyclesSaved, want)
 	}
 }
 
@@ -231,7 +297,7 @@ func TestNineLanesWithDuplicates(t *testing.T) {
 // must come back Failed with the panic in Err, and the remaining lanes
 // must still finish bit-identical to scalar.
 func TestLanePanicMidBatch(t *testing.T) {
-	scripts, outs := runGroup(t, []*scriptTech{
+	scripts, outs, _ := runGroup(t, []*scriptTech{
 		nil,
 		{name: "bomb", panicAt: 60},
 		{name: "quiet", throttleFrom: 0},
@@ -248,6 +314,71 @@ func TestLanePanicMidBatch(t *testing.T) {
 	if len(scripts[1].recs) != 60 {
 		t.Errorf("bomb lane: observed %d cycles before the panic, want 60", len(scripts[1].recs))
 	}
-	checkLane(t, "base", scripts[0], outs[0], false)
-	checkLane(t, "quiet", scripts[2], outs[2], false)
+	checkLane(t, "base", scripts[0], outs[0], 0)
+	checkLane(t, "quiet", scripts[2], outs[2], 0)
+}
+
+// TestForkThenPanic has a lane fork at cycle 40 and panic at cycle 100,
+// i.e. on its forked machine: the panic must be contained to the fork
+// (Failed, exact prefix observed) while the root cohort finishes clean.
+func TestForkThenPanic(t *testing.T) {
+	scripts, outs, stats := runGroup(t, []*scriptTech{
+		nil,
+		{name: "forkbomb", throttleFrom: 40, panicAt: 100},
+		{name: "quiet", throttleFrom: 0},
+	})
+	if outs[1].Status != batchkernel.Failed {
+		t.Fatalf("forkbomb lane: status %v, want failed", outs[1].Status)
+	}
+	if outs[1].DivergedAt != 100 {
+		t.Errorf("forkbomb lane: failed at %d, want 100", outs[1].DivergedAt)
+	}
+	if outs[1].Forks != 1 || outs[1].FirstForkAt != 40 {
+		t.Errorf("forkbomb lane: forks=%d firstForkAt=%d, want 1 at 40", outs[1].Forks, outs[1].FirstForkAt)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "scripted panic") {
+		t.Errorf("forkbomb lane: err %v, want recovered scripted panic", outs[1].Err)
+	}
+	if len(scripts[1].recs) != 100 {
+		t.Errorf("forkbomb lane: observed %d cycles before the panic, want 100", len(scripts[1].recs))
+	}
+	// The forked prefix (cycles 40..99) must equal the scalar run of the
+	// same script up to the panic.
+	ref := scripts[1].clone()
+	ref.panicAt = 0
+	sRecs, _ := scalarRun(t, ref)
+	compareObs(t, "forkbomb", scripts[1].recs, sRecs, 100)
+	if stats.CohortsForked != 1 || stats.LanesForked != 1 {
+		t.Errorf("stats %+v, want 1 cohort / 1 lane", stats)
+	}
+	checkLane(t, "base", scripts[0], outs[0], 0)
+	checkLane(t, "quiet", scripts[2], outs[2], 0)
+}
+
+// TestUnforkableSourceDiverges pins the scalar-fallback path: on a
+// machine whose instruction source cannot be forked, a diverging lane
+// must come back Diverged at exactly its divergence cycle with exactly
+// the scalar prefix observed, and the rest of the group must finish.
+func TestUnforkableSourceDiverges(t *testing.T) {
+	scripts, outs, stats := runGroupOn(t, []*scriptTech{
+		nil,
+		{name: "th30", throttleFrom: 30},
+		{name: "quiet", throttleFrom: 0},
+	}, &unforkableSource{inner: edgeSource()})
+	if outs[1].Status != batchkernel.Diverged {
+		t.Fatalf("th30 lane: status %v, want diverged", outs[1].Status)
+	}
+	if outs[1].DivergedAt != 30 {
+		t.Errorf("th30 lane: diverged at %d, want 30", outs[1].DivergedAt)
+	}
+	if len(scripts[1].recs) != 30 {
+		t.Errorf("th30 lane: observed %d cycles, want exactly the 30-cycle prefix", len(scripts[1].recs))
+	}
+	sRecs, _ := scalarRun(t, scripts[1].clone())
+	compareObs(t, "th30", scripts[1].recs, sRecs, 30)
+	if stats.LanesForked != 0 || stats.CohortsForked != 0 {
+		t.Errorf("stats %+v, want no forks on an unforkable machine", stats)
+	}
+	checkLane(t, "base", scripts[0], outs[0], 0)
+	checkLane(t, "quiet", scripts[2], outs[2], 0)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine/batchkernel"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -69,6 +70,12 @@ type Engine struct {
 	// this engine executed (see power.MemoStats).
 	powerMemoHits    uint64
 	powerMemoLookups uint64
+
+	// Divergence handling aggregated over every lockstep group this
+	// engine executed (see batchkernel.Stats).
+	lanesForked     uint64
+	cohortsReformed uint64
+	forkCyclesSaved uint64
 }
 
 // entry is one cache slot, created before its simulation starts so that
@@ -122,6 +129,16 @@ type CacheStats struct {
 	// executed; PowerMemoHits/PowerMemoLookups is the hit rate.
 	PowerMemoHits    uint64
 	PowerMemoLookups uint64
+	// LanesForked counts lockstep lanes that diverged and resumed on a
+	// forked machine; CohortsReformed counts the forked machines created,
+	// each a fresh lockstep cohort (so LanesForked - CohortsReformed
+	// lanes regrouped with a same-decision sibling instead of running
+	// alone); ForkCyclesSaved sums the per-lane speculative prefixes the
+	// pre-fork kernel would have discarded and re-simulated from cycle
+	// zero (see batchkernel.Stats).
+	LanesForked     uint64
+	CohortsReformed uint64
+	ForkCyclesSaved uint64
 }
 
 // CacheStats returns a snapshot of the cache counters.
@@ -137,6 +154,9 @@ func (e *Engine) CacheStats() CacheStats {
 		Entries:          len(e.entries),
 		PowerMemoHits:    e.powerMemoHits,
 		PowerMemoLookups: e.powerMemoLookups,
+		LanesForked:      e.lanesForked,
+		CohortsReformed:  e.cohortsReformed,
+		ForkCyclesSaved:  e.forkCyclesSaved,
 	}
 }
 
@@ -196,6 +216,18 @@ func (e *Engine) addMemoStats(st power.MemoStats) {
 	e.mu.Lock()
 	e.powerMemoHits += st.Hits
 	e.powerMemoLookups += st.Lookups()
+	e.mu.Unlock()
+}
+
+// addKernelStats folds one lockstep group's divergence and memoization
+// counters into the engine totals.
+func (e *Engine) addKernelStats(st batchkernel.Stats) {
+	e.mu.Lock()
+	e.powerMemoHits += st.PowerMemo.Hits
+	e.powerMemoLookups += st.PowerMemo.Lookups()
+	e.lanesForked += st.LanesForked
+	e.cohortsReformed += st.CohortsForked
+	e.forkCyclesSaved += st.CyclesSaved
 	e.mu.Unlock()
 }
 
@@ -569,7 +601,7 @@ func (e *Engine) runBatch(parent context.Context, specs []Spec, labels []string,
 				return
 			}
 		}
-		runGroup(ctx, specs, g, finish, e.addMemoStats)
+		runGroup(ctx, specs, g, finish, e.addKernelStats)
 	}
 
 	// A fixed pool of min(groups, parallelism) workers pulls group

@@ -144,15 +144,17 @@ const spreadRing = 16
 // associative, so pre-summing deposits would change results; replaying
 // the identical op sequence keeps hit and miss cycles bit-identical.
 const (
-	memoBits = 9
+	memoBits = 12
 	memoSize = 1 << memoBits
 )
 
-// memoRow is one active unit's deposit recipe within a memo entry.
+// memoRow is one active unit's deposit recipe within a memo entry. The
+// unit index and spread length are packed into single bytes to keep a
+// row at 24 bytes, so the enlarged table stays reasonably cache-dense.
 type memoRow struct {
 	total float64
 	share float64
-	u     Unit
+	u     uint8
 	n     uint8
 }
 
@@ -275,6 +277,20 @@ func New(cfg Config, cc cpu.Config) *Model {
 	return m
 }
 
+// Fork returns an independent copy of the model continuing from the
+// same accounting state: the in-flight energy deposits of the spreading
+// ring, the accumulated totals, and the memo table all carry over, so
+// identical future Step sequences yield bit-identical energies. The
+// memo's traffic counters start at zero on the copy — each Step is
+// counted on exactly one model, so summing MemoStats over a machine and
+// all of its forks gives exact totals.
+func (m *Model) Fork() *Model {
+	f := *m
+	f.memo = append([]memoEntry(nil), m.memo...)
+	f.memoHits, f.memoMisses, f.memoBypass = 0, 0, 0
+	return &f
+}
+
 // Config returns the electrical configuration.
 func (m *Model) Config() Config { return m.cfg }
 
@@ -372,7 +388,7 @@ func (m *Model) fillMemo(act *cpu.Activity, key uint64, en *memoEntry) {
 		}
 		total := ev[u] * m.unitEventJ[u]
 		n := spreadCycles[u]
-		en.rows[en.n] = memoRow{total: total, share: total / float64(n), u: u, n: uint8(n)}
+		en.rows[en.n] = memoRow{total: total, share: total / float64(n), u: uint8(u), n: uint8(n)}
 		en.n++
 	}
 }

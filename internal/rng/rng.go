@@ -20,6 +20,15 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Clone returns an independent generator that continues the exact draw
+// sequence of s: both produce identical streams from here on. Machine
+// forking (sim.Machine.Fork) relies on this to keep a forked workload
+// generator bit-identical to its original.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
 // Uint64 returns the next 64 random bits.
 func (s *Source) Uint64() uint64 {
 	x := s.state

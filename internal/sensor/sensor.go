@@ -49,6 +49,15 @@ func (c *Current) init() {
 	}
 }
 
+// Fork returns an independent copy of the sensor carrying the full
+// delay-pipe history, so original and copy report identical readings
+// for identical future inputs.
+func (c *Current) Fork() *Current {
+	f := *c
+	f.history = append([]float64(nil), c.history...)
+	return &f
+}
+
 // Read quantises (and possibly delays) the true current for this cycle.
 // Call exactly once per cycle.
 func (c *Current) Read(trueAmps float64) float64 {

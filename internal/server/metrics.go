@@ -101,6 +101,15 @@ func (s *metricsSet) writeProm(w io.Writer, eng *engine.Engine) {
 	fmt.Fprintf(w, "resonanced_power_memo_hits_total %d\n", cs.PowerMemoHits)
 	fmt.Fprintf(w, "# TYPE resonanced_power_memo_lookups_total counter\n")
 	fmt.Fprintf(w, "resonanced_power_memo_lookups_total %d\n", cs.PowerMemoLookups)
+	fmt.Fprintf(w, "# HELP resonanced_batch_lanes_forked_total Lockstep lanes that diverged and resumed on a forked machine.\n")
+	fmt.Fprintf(w, "# TYPE resonanced_batch_lanes_forked_total counter\n")
+	fmt.Fprintf(w, "resonanced_batch_lanes_forked_total %d\n", cs.LanesForked)
+	fmt.Fprintf(w, "# HELP resonanced_batch_cohorts_reformed_total Forked machines created, each a fresh lockstep cohort.\n")
+	fmt.Fprintf(w, "# TYPE resonanced_batch_cohorts_reformed_total counter\n")
+	fmt.Fprintf(w, "resonanced_batch_cohorts_reformed_total %d\n", cs.CohortsReformed)
+	fmt.Fprintf(w, "# HELP resonanced_batch_fork_cycles_saved_total Speculative prefix cycles retained by forking instead of scalar re-runs.\n")
+	fmt.Fprintf(w, "# TYPE resonanced_batch_fork_cycles_saved_total counter\n")
+	fmt.Fprintf(w, "resonanced_batch_fork_cycles_saved_total %d\n", cs.ForkCyclesSaved)
 
 	fmt.Fprintf(w, "# HELP resonanced_engine_inflight Simulations (or lockstep lane groups) occupying a worker slot.\n")
 	fmt.Fprintf(w, "# TYPE resonanced_engine_inflight gauge\n")

@@ -334,6 +334,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"resonanced_cache_entries 1\n",
 		"resonanced_engine_inflight 0\n",
 		"resonanced_engine_queue_depth 0\n",
+		"resonanced_batch_lanes_forked_total 0\n",
+		"resonanced_batch_cohorts_reformed_total 0\n",
+		"resonanced_batch_fork_cycles_saved_total 0\n",
 		"resonanced_http_requests_total{path=\"/v1/run\",code=\"200\"} 2\n",
 		"resonanced_http_requests_total{path=\"/v1/run\",code=\"400\"} 1\n",
 		"resonanced_http_request_duration_seconds_count{path=\"/v1/run\"} 3\n",

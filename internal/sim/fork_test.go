@@ -1,0 +1,224 @@
+package sim
+
+// Machine.Fork's bit-identity contract: fork at any cycle, step the
+// original and the clone to completion under identical (throttle,
+// phantom) sequences, and both must produce identical per-cycle
+// Observations (with the Activity buffer) and final Results — and the
+// fork must not perturb the original, which is why the checks run the
+// two machines interleaved against an undisturbed reference run. The
+// deterministic matrix covers both supply models, sensor delay and
+// quantisation, and the live RNG-driven generator source; the fuzz
+// target randomizes seed, fork cycle, and configuration.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// forkObs is one cycle's Observation flattened for value comparison.
+type forkObs struct {
+	obs Observation
+	act cpu.Activity
+}
+
+func flatObs(o *Observation) forkObs {
+	rec := forkObs{obs: *o, act: *o.Activity}
+	rec.obs.Activity = nil
+	return rec
+}
+
+// forkSchedule is a pure function of the cycle number, so every machine
+// in a comparison sees the same control inputs: a periodic throttle
+// phase and an occasional phantom firing, enough to exercise the issue
+// logic, the phantom energy accounting, and the supply under different
+// waveforms.
+func forkSchedule(cycle uint64) (cpu.Throttle, Phantom) {
+	th := cpu.Unlimited
+	if cycle/64%2 == 1 {
+		th = cpu.Throttle{IssueWidth: 4, CachePorts: 1, IssueCurrentBudget: -1}
+	}
+	var ph Phantom
+	if cycle%97 == 13 {
+		ph.FireAmps = 20
+	}
+	return th, ph
+}
+
+// forkCase builds one machine over the given config and generator seed.
+func forkMachine(t testing.TB, cfg Config, seed uint64, insts uint64) *Machine {
+	t.Helper()
+	app, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := app.Params
+	p.Seed = seed
+	m, err := NewMachine(cfg, workload.NewGenerator(p, insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runForkContract runs the contract for one (config, seed, forkCycle)
+// point: a reference machine records the undisturbed stream; a second
+// machine forks at forkCycle, and the pair then advances interleaved —
+// one cycle each, so any state secretly shared between them corrupts at
+// least one stream — with every cycle compared against the reference.
+func runForkContract(t testing.TB, cfg Config, seed, forkCycle, insts uint64) {
+	t.Helper()
+
+	ref := forkMachine(t, cfg, seed, insts)
+	var refRecs []forkObs
+	limit := ref.CycleLimit()
+	for !ref.Done() && ref.Cycles() < limit {
+		th, ph := forkSchedule(ref.Cycles())
+		refRecs = append(refRecs, flatObs(ref.Step(th, ph)))
+	}
+	refRes := ref.Result("swim", "forktest")
+
+	m := forkMachine(t, cfg, seed, insts)
+	for m.Cycles() < forkCycle && !m.Done() && m.Cycles() < limit {
+		th, ph := forkSchedule(m.Cycles())
+		got := flatObs(m.Step(th, ph))
+		if want := refRecs[got.obs.Cycle]; got != want {
+			t.Fatalf("pre-fork cycle %d: %+v != reference %+v", got.obs.Cycle, got, want)
+		}
+	}
+	f, err := m.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cycles() != m.Cycles() {
+		t.Fatalf("fork at cycle %d reports %d", m.Cycles(), f.Cycles())
+	}
+
+	step := func(mm *Machine, label string) {
+		if mm.Done() || mm.Cycles() >= limit {
+			return
+		}
+		th, ph := forkSchedule(mm.Cycles())
+		got := flatObs(mm.Step(th, ph))
+		if int(got.obs.Cycle) >= len(refRecs) {
+			t.Fatalf("%s: cycle %d past reference end (%d)", label, got.obs.Cycle, len(refRecs))
+		}
+		if want := refRecs[got.obs.Cycle]; got != want {
+			t.Fatalf("%s: cycle %d: %+v != reference %+v", label, got.obs.Cycle, got, want)
+		}
+	}
+	for (!m.Done() && m.Cycles() < limit) || (!f.Done() && f.Cycles() < limit) {
+		step(m, "original")
+		step(f, "fork")
+	}
+
+	if mRes := m.Result("swim", "forktest"); mRes != refRes {
+		t.Fatalf("original result %+v != reference %+v", mRes, refRes)
+	}
+	if fRes := f.Result("swim", "forktest"); fRes != refRes {
+		t.Fatalf("fork result %+v != reference %+v", fRes, refRes)
+	}
+}
+
+// forkConfigs is the deterministic configuration matrix: the default
+// single-stage supply, the two-stage supply with a delayed sensor (the
+// sensor history must travel with the fork), and a quantised capped run.
+func forkConfigs() map[string]Config {
+	twoStage := DefaultConfig()
+	ts := circuit.Table1TwoStage()
+	twoStage.TwoStageSupply = &ts
+	twoStage.SensorDelayCycles = 3
+	quantized := DefaultConfig()
+	quantized.SensorResolutionAmps = 2
+	quantized.MaxCycles = 2500
+	return map[string]Config{
+		"default":         DefaultConfig(),
+		"twostage-delay3": twoStage,
+		"quantized":       quantized,
+	}
+}
+
+func TestMachineForkBitIdentical(t *testing.T) {
+	for name, cfg := range forkConfigs() {
+		for _, forkCycle := range []uint64{0, 1, 127, 1000} {
+			t.Run(fmt.Sprintf("%s/fork%d", name, forkCycle), func(t *testing.T) {
+				runForkContract(t, cfg, 42, forkCycle, 4000)
+			})
+		}
+	}
+}
+
+// TestMachineForkOfFork chains forks: a fork must itself be forkable
+// with the same contract, since the batch kernel re-splits cohorts that
+// already live on forked machines.
+func TestMachineForkOfFork(t *testing.T) {
+	ref := forkMachine(t, DefaultConfig(), 7, 4000)
+	var refRecs []forkObs
+	limit := ref.CycleLimit()
+	for !ref.Done() && ref.Cycles() < limit {
+		th, ph := forkSchedule(ref.Cycles())
+		refRecs = append(refRecs, flatObs(ref.Step(th, ph)))
+	}
+
+	m := forkMachine(t, DefaultConfig(), 7, 4000)
+	machines := []*Machine{m}
+	for !allDone(machines, limit) {
+		for _, mm := range machines {
+			if mm.Done() || mm.Cycles() >= limit {
+				continue
+			}
+			th, ph := forkSchedule(mm.Cycles())
+			got := flatObs(mm.Step(th, ph))
+			if want := refRecs[got.obs.Cycle]; got != want {
+				t.Fatalf("cycle %d: %+v != reference %+v", got.obs.Cycle, got, want)
+			}
+		}
+		// Fork the newest machine at a few depths: original at 100,
+		// fork-of-original at 200, fork-of-fork at 300.
+		if n := len(machines); n < 4 && machines[n-1].Cycles() >= uint64(n*100) {
+			f, err := machines[n-1].Fork()
+			if err != nil {
+				t.Fatal(err)
+			}
+			machines = append(machines, f)
+		}
+	}
+	if len(machines) != 4 {
+		t.Fatalf("chained %d machines, want 4", len(machines))
+	}
+}
+
+func allDone(ms []*Machine, limit uint64) bool {
+	for _, m := range ms {
+		if !m.Done() && m.Cycles() < limit {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzMachineFork randomizes the seed, the fork cycle, and the system
+// configuration, and requires the full bit-identity contract at every
+// point.
+func FuzzMachineFork(f *testing.F) {
+	f.Add(uint64(1), uint64(50), false, uint8(0), false)
+	f.Add(uint64(424242), uint64(0), true, uint8(2), true)
+	f.Add(uint64(7), uint64(2000), true, uint8(5), false)
+	f.Add(uint64(99), uint64(313), false, uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed, forkCycle uint64, twoStage bool, delay uint8, quantize bool) {
+		cfg := DefaultConfig()
+		if twoStage {
+			ts := circuit.Table1TwoStage()
+			cfg.TwoStageSupply = &ts
+		}
+		cfg.SensorDelayCycles = int(delay % 8)
+		if quantize {
+			cfg.SensorResolutionAmps = 2
+		}
+		cfg.MaxCycles = 3000
+		runForkContract(t, cfg, seed, forkCycle%3000, 4000)
+	})
+}

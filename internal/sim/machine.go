@@ -103,6 +103,61 @@ func NewMachine(cfg Config, src cpu.Source) (*Machine, error) {
 	}, nil
 }
 
+// Fork returns a deep copy of the machine with a hard bit-identity
+// contract: fork at any cycle, then step the original and the clone to
+// completion with identical (throttle, phantom) sequences, and both
+// produce identical per-cycle Observations (including the Activity
+// buffer), trace-relevant values, and final Results. Every piece of
+// mutable state is duplicated — core scheduler (ROB, wakeup lists,
+// timing wheel, ready bitmap, fetch queue), instruction-source cursor
+// (including generator RNG state), power model (spreading ring, memo,
+// accumulators), supply circuit, sensor history, and the machine's own
+// statistics counters — so the two machines share nothing written after
+// the fork. The batch kernel uses this to resume diverged lanes from
+// their observed prefix instead of re-running them from cycle zero;
+// FuzzMachineFork and the kernel differential harness pin the contract.
+//
+// Fork fails when the instruction source cannot be forked (a source not
+// implementing cpu.ForkableSource); callers fall back to a scalar
+// re-run in that case.
+func (m *Machine) Fork() (*Machine, error) {
+	core, err := m.core.Fork()
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork: %w", err)
+	}
+	supply, err := forkSupply(m.supply)
+	if err != nil {
+		return nil, fmt.Errorf("sim: fork: %w", err)
+	}
+	f := *m
+	f.core = core
+	f.pwr = m.pwr.Fork()
+	f.supply = supply
+	if m.sens != nil {
+		f.sens = m.sens.Fork()
+	}
+	// The observation buffer's Activity pointer must aim at the clone's
+	// own activity buffer, not the original's.
+	if f.obs.Activity != nil {
+		f.obs.Activity = &f.act
+	}
+	return &f, nil
+}
+
+// forkSupply deep-copies a supply simulator. Every concrete supplySim
+// must be listed here; a new PDN model that is not will surface as a
+// fork error (and a scalar fallback in the batch kernel) rather than
+// silently shared state.
+func forkSupply(s supplySim) (supplySim, error) {
+	switch v := s.(type) {
+	case *circuit.Simulator:
+		return v.Fork(), nil
+	case *circuit.TwoStageSimulator:
+		return v.Fork(), nil
+	}
+	return nil, fmt.Errorf("supply %T is not forkable", s)
+}
+
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 

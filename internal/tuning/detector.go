@@ -193,12 +193,14 @@ func (d *Detector) EventsDetected() uint64 { return d.eventsDetected }
 // windowDiff returns recent-quarter sum minus prior-quarter sum for the
 // given quarter-period length at the current cycle. The subtraction order
 // matches the original modulo-indexed implementation exactly, so the
-// floating-point results are bit-identical.
+// floating-point results are bit-identical. d.cum[cycle&mask] always holds
+// d.total when this runs (Step writes it first), so the recent window ends
+// at the in-register running total instead of a ring load.
 func (d *Detector) windowDiff(qp uint64) float64 {
 	m := d.cumMask
 	c := d.cycle
 	mid := d.cum[(c-qp)&m]
-	recent := d.cum[c&m] - mid
+	recent := d.total - mid
 	prior := mid - d.cum[(c-2*qp)&m]
 	return recent - prior
 }

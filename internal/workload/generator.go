@@ -221,6 +221,15 @@ func (g *Generator) episodeCadence() int {
 // Params returns the generator's application parameters.
 func (g *Generator) Params() Params { return g.p }
 
+// Fork implements cpu.ForkableSource: the copy carries the full
+// oscillation state and a clone of the RNG, so it continues the exact
+// instruction sequence the original would have produced.
+func (g *Generator) Fork() cpu.Source {
+	f := *g
+	f.r = g.r.Clone()
+	return &f
+}
+
 // jittered perturbs a phase length by ±JitterFrac.
 func (g *Generator) jittered(n int) int {
 	j := g.p.Burst.JitterFrac

@@ -1,60 +1,70 @@
 #!/usr/bin/env sh
-# bench_gate.sh — regression gate for the batched Table 3 benchmark.
+# bench_gate.sh — regression gate for the hot-path benchmarks.
 #
-# Runs BenchmarkTable3ResonanceTuning (the cold, engine-batched Table 3
-# regeneration) and compares its ns/op against the committed snapshot in
-# BENCH_sim.json, failing when the measured time regresses by more than
-# GATE_PCT percent (default 10).
+# Runs the gated benchmarks (default: the cold engine-batched Table 3
+# regeneration plus the fork-on-divergence kernel microbenchmark) and
+# compares each ns/op against the committed snapshot in BENCH_sim.json,
+# failing when any measured time regresses by more than GATE_PCT percent
+# (default 10).
 #
 # Usage:
 #   scripts/bench_gate.sh                # gate vs BENCH_sim.json at 10%
 #   GATE_PCT=25 scripts/bench_gate.sh    # looser gate (noisy runners)
+#   BENCHNAME=BenchmarkTable3ResonanceTuning scripts/bench_gate.sh
 #   BASELINE=old.json scripts/bench_gate.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHNAME="${BENCHNAME:-BenchmarkTable3ResonanceTuning}"
+BENCHNAME="${BENCHNAME:-BenchmarkTable3ResonanceTuning BenchmarkBatchKernelForked}"
 BASELINE="${BASELINE:-BENCH_sim.json}"
 GATE_PCT="${GATE_PCT:-10}"
 COUNT="${COUNT:-3}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "^${BENCHNAME}\$" -count "$COUNT" -timeout 30m . | tee "$RAW"
+REGEX="^($(echo "$BENCHNAME" | tr ' ' '|'))\$"
+go test -run '^$' -bench "$REGEX" -count "$COUNT" -timeout 30m . | tee "$RAW"
 
-python3 - "$RAW" "$BASELINE" "$BENCHNAME" "$GATE_PCT" <<'EOF'
+python3 - "$RAW" "$BASELINE" "$GATE_PCT" $BENCHNAME <<'EOF'
 import json, re, sys
 
-raw_path, baseline_path, name, gate_pct = sys.argv[1:5]
+raw_path, baseline_path, gate_pct = sys.argv[1:4]
+names = sys.argv[4:]
 gate = float(gate_pct)
 
 with open(baseline_path) as f:
     snap = json.load(f)
-base = None
-for b in snap["benchmarks"]:
-    # Snapshot names carry go test's "-N" GOMAXPROCS suffix; strip only
-    # that (benchmark names themselves may contain dashes).
-    if re.sub(r"-\d+$", "", b["name"]) == name:
-        base = float(b["ns_per_op"])
-        break
-if base is None:
-    sys.exit(f"{baseline_path} has no entry for {name}")
 
-runs = []
-with open(raw_path) as f:
-    for line in f:
-        m = re.match(rf"^{re.escape(name)}(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", line)
-        if m:
-            runs.append(float(m.group(1)))
-if not runs:
-    sys.exit(f"no {name} results in benchmark output")
+failed = []
+for name in names:
+    base = None
+    for b in snap["benchmarks"]:
+        # Snapshot names carry go test's "-N" GOMAXPROCS suffix; strip only
+        # that (benchmark names themselves may contain dashes).
+        if re.sub(r"-\d+$", "", b["name"]) == name:
+            base = float(b["ns_per_op"])
+            break
+    if base is None:
+        sys.exit(f"{baseline_path} has no entry for {name}")
 
-best = min(runs)  # min-of-N damps scheduler noise on shared runners
-ratio = best / base
-print(f"{name}: best of {len(runs)} runs {best/1e9:.3f} s/op "
-      f"vs snapshot {base/1e9:.3f} s/op (x{ratio:.3f}, gate +{gate:.0f}%)")
-if ratio > 1 + gate / 100:
-    sys.exit(f"FAIL: {name} regressed {100*(ratio-1):.1f}% > {gate:.0f}% gate")
+    runs = []
+    with open(raw_path) as f:
+        for line in f:
+            m = re.match(rf"^{re.escape(name)}(?:-\d+)?\s+\d+\s+([\d.]+) ns/op", line)
+            if m:
+                runs.append(float(m.group(1)))
+    if not runs:
+        sys.exit(f"no {name} results in benchmark output")
+
+    best = min(runs)  # min-of-N damps scheduler noise on shared runners
+    ratio = best / base
+    print(f"{name}: best of {len(runs)} runs {best/1e9:.3f} s/op "
+          f"vs snapshot {base/1e9:.3f} s/op (x{ratio:.3f}, gate +{gate:.0f}%)")
+    if ratio > 1 + gate / 100:
+        failed.append(f"{name} regressed {100*(ratio-1):.1f}% > {gate:.0f}% gate")
+
+if failed:
+    sys.exit("FAIL: " + "; ".join(failed))
 print("PASS")
 EOF
