@@ -257,6 +257,33 @@ func BenchmarkStepCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiDomainStep measures one fully coupled system cycle on
+// the two-domain PDN stack — core + per-domain current split + the
+// coupled die/package/board integration + per-domain sensing + one
+// tuning controller per rail — the multi-domain counterpart of
+// BenchmarkStepCycle, and the unit the multidomain experiment's wall
+// time is a multiple of.
+func BenchmarkMultiDomainStep(b *testing.B) {
+	app, err := workload.ByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(app.Params, math.MaxUint64>>1)
+	pdn := circuit.Table1TwoDomain()
+	cfg := sim.DefaultConfig()
+	netCfg := circuit.NetworkConfig{Kind: circuit.NetworkMultiDomain, MultiDomain: &pdn}
+	cfg.PDN = &netCfg
+	dt := DefaultDomainTuningConfig(&netCfg, 100)
+	s, err := sim.New(cfg, gen, sim.NewPerDomainTuning(dt.Domains))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.StepCycle()
+	}
+}
+
 // BenchmarkBatchKernelLockstep measures the lockstep kernel stepping a
 // full seven-lane group — base machine plus the six Table 3 resonance
 // tuning variants — over a quiet application whose lanes never diverge:

@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/circuit"
 	"repro/internal/engine"
 	"repro/internal/profiling"
 	"repro/internal/shard"
@@ -52,6 +53,9 @@ func main() {
 		techFlag = flag.String("technique", string(engine.TechniqueTuning),
 			"technique kind to run at each grid point (one of: "+kindList()+"); "+
 				"the -initial/-threshold/-second axes configure tuning, every other kind runs its default configuration once per app")
+		pdnFlag = flag.String("pdn", "",
+			"power-delivery-network kind simulated at every point, baselines included (one of: "+netKindList()+"); "+
+				"empty keeps each spec's default lumped supply")
 		initials  = flag.String("initial", "75,100,150,200", "initial response times (cycles)")
 		thresh    = flag.String("threshold", "1,2", "initial response thresholds (event count)")
 		secondMin = flag.String("second", "35", "second-level hold times (cycles)")
@@ -78,9 +82,12 @@ func main() {
 	}
 	defer stopProfiles()
 
-	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts, technique: engine.TechniqueKind(*techFlag)}
+	grid := sweepGrid{apps: splitApps(*appsFlag), insts: *insts, technique: engine.TechniqueKind(*techFlag), pdn: *pdnFlag}
 	if !validKind(grid.technique) {
 		fatal(fmt.Errorf("-technique: unknown kind %q (valid: %s)", *techFlag, kindList()))
+	}
+	if !validNetKind(grid.pdn) {
+		fatal(fmt.Errorf("-pdn: unknown network kind %q (valid: %s)", *pdnFlag, netKindList()))
 	}
 	if grid.initials, err = parseInts(*initials); err != nil {
 		fatal(fmt.Errorf("-initial: %w", err))
@@ -188,6 +195,26 @@ func validKind(kind engine.TechniqueKind) bool {
 	return false
 }
 
+// netKindList renders every registered network kind for usage and error
+// text.
+func netKindList() string {
+	return strings.Join(circuit.NetworkKinds(), ", ")
+}
+
+// validNetKind reports whether the PDN kind is registered ("" keeps each
+// spec's default supply).
+func validNetKind(kind string) bool {
+	if kind == "" {
+		return true
+	}
+	for _, k := range circuit.NetworkKinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // sweepGrid is the cross product the sweep explores.
 type sweepGrid struct {
 	apps  []string
@@ -196,10 +223,22 @@ type sweepGrid struct {
 	// means TechniqueTuning. The initials/thresholds/seconds axes
 	// parameterise tuning only — any other kind runs its default
 	// configuration, collapsing the grid to one point per app.
-	technique  engine.TechniqueKind
+	technique engine.TechniqueKind
+	// pdn selects the registered power-delivery-network kind every run
+	// (baselines included) simulates; empty keeps the default lumped
+	// supply.
+	pdn        string
 	initials   []int
 	thresholds []int
 	seconds    []int
+}
+
+// pdnConfig returns the grid's network selector, nil when defaulted.
+func (g sweepGrid) pdnConfig() *circuit.NetworkConfig {
+	if g.pdn == "" {
+		return nil
+	}
+	return &circuit.NetworkConfig{Kind: g.pdn}
 }
 
 // tunes reports whether the grid sweeps tuning configurations (the axes
@@ -214,6 +253,7 @@ type gridPoint struct {
 	appIdx              int
 	app                 string
 	technique           engine.TechniqueKind
+	pdn                 string
 	initial, th, second int
 }
 
@@ -232,7 +272,7 @@ func (g sweepGrid) points() []gridPoint {
 			for _, th := range thresholds {
 				for _, second := range seconds {
 					pts = append(pts, gridPoint{
-						appIdx: ai, app: app, technique: g.technique,
+						appIdx: ai, app: app, technique: g.technique, pdn: g.pdn,
 						initial: initial, th: th, second: second,
 					})
 				}
@@ -249,6 +289,9 @@ func (p gridPoint) spec(insts uint64) engine.Spec {
 		kind = engine.TechniqueTuning
 	}
 	s := engine.Spec{App: p.app, Instructions: insts, Technique: kind}
+	if p.pdn != "" {
+		s.PDN = &circuit.NetworkConfig{Kind: p.pdn}
+	}
 	if kind == engine.TechniqueTuning {
 		cfg := resonance.DefaultTuningConfig(p.initial)
 		cfg.InitialResponseThreshold = p.th
@@ -285,6 +328,9 @@ func runSweep(ctx context.Context, eng *engine.Engine, g sweepGrid, w io.Writer,
 		label := fmt.Sprintf("app=%s initial=%d threshold=%d second=%d", p.app, p.initial, p.th, p.second)
 		if !g.tunes() {
 			label = fmt.Sprintf("app=%s technique=%s", p.app, p.technique)
+		}
+		if p.pdn != "" {
+			label += " pdn=" + p.pdn
 		}
 		ep[i] = engine.Point{Label: label, Spec: p.spec(g.insts)}
 	}

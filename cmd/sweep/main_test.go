@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/circuit"
 	"repro/internal/engine"
 )
 
@@ -196,6 +197,90 @@ func TestSweepTechniqueFlag(t *testing.T) {
 		if len(lines) != 1+len(g.apps) {
 			t.Errorf("technique %s: %d CSV lines, want header + %d rows:\n%s", kind, len(lines), len(g.apps), out.String())
 		}
+	}
+}
+
+// TestNetworkKindValidation: every registered PDN kind is accepted and
+// listed in the -pdn usage/error text; junk is rejected.
+func TestNetworkKindValidation(t *testing.T) {
+	list := netKindList()
+	for _, k := range circuit.NetworkKinds() {
+		if !validNetKind(k) {
+			t.Errorf("registered network kind %q rejected", k)
+		}
+		if !strings.Contains(list, k) {
+			t.Errorf("network kind list %q omits %q", list, k)
+		}
+	}
+	if !validNetKind("") {
+		t.Error("empty kind (default supply) rejected")
+	}
+	if validNetKind("mesh") {
+		t.Error("unknown network kind accepted")
+	}
+	for _, want := range []string{"lumped", "twostage", "multidomain"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("network kind list %q missing %q", list, want)
+		}
+	}
+}
+
+// TestSweepPDNEndToEnd sweeps a small tuning grid over the two-domain
+// PDN through a persistent cache twice: the cold pass simulates every
+// point exactly once, and the warm replay — a fresh engine over the same
+// directory — serves the byte-identical CSV entirely from disk with zero
+// sim misses, which is the sharded coordinator's merge contract.
+func TestSweepPDNEndToEnd(t *testing.T) {
+	g := sweepGrid{
+		apps:       []string{"lucas", "parser"},
+		insts:      20_000,
+		pdn:        circuit.NetworkMultiDomain,
+		initials:   []int{75, 100},
+		thresholds: []int{1},
+		seconds:    []int{35},
+	}
+	dir := t.TempDir()
+
+	cold := engine.New(engine.Options{Parallelism: 2, DiskCacheDir: dir})
+	var first bytes.Buffer
+	if err := runSweep(context.Background(), cold, g, &first, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := cold.CacheStats()
+	wantRuns := uint64(len(g.apps) * (1 + len(g.points())/len(g.apps)))
+	if st.Misses != wantRuns {
+		t.Errorf("cold sweep simulated %d points, want %d", st.Misses, wantRuns)
+	}
+
+	warm := engine.New(engine.Options{Parallelism: 2, DiskCacheDir: dir})
+	var second bytes.Buffer
+	if err := runSweep(context.Background(), warm, g, &second, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2 := warm.CacheStats()
+	if st2.Misses != 0 {
+		t.Errorf("warm replay re-simulated %d points, want sim_misses=0", st2.Misses)
+	}
+	if st2.DiskHits == 0 {
+		t.Error("warm replay served no points from the disk cache")
+	}
+	if first.String() != second.String() {
+		t.Errorf("warm replay CSV diverged:\n--- cold ---\n%s--- warm ---\n%s", first.String(), second.String())
+	}
+
+	// The PDN must actually reach the simulated system: the same grid
+	// without it keys — and simulates — differently.
+	gLumped := g
+	gLumped.pdn = ""
+	var lumped bytes.Buffer
+	if err := runSweep(context.Background(), warm, gLumped, &lumped, nil); err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats().Misses == 0 {
+		t.Error("default-supply sweep was served from the multi-domain cache entries")
+	}
+	if lumped.String() == first.String() {
+		t.Error("multi-domain sweep emitted the same CSV as the default supply")
 	}
 }
 

@@ -40,7 +40,7 @@ type shardOpts struct {
 func baseSpecs(g sweepGrid) []engine.Spec {
 	specs := make([]engine.Spec, len(g.apps))
 	for i, app := range g.apps {
-		specs[i] = engine.Spec{App: app, Instructions: g.insts}
+		specs[i] = engine.Spec{App: app, Instructions: g.insts, PDN: g.pdnConfig()}
 	}
 	return specs
 }

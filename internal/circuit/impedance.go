@@ -58,3 +58,31 @@ func PeakImpedance(pts []ImpedancePoint) ImpedancePoint {
 	}
 	return peak
 }
+
+// LocalPeaks reports every local impedance maximum of a Bode scan, in
+// frequency order: samples (or flat runs of samples, reported at their
+// midpoint) strictly higher than both neighbours. Endpoints are never
+// peaks — a maximum at the edge of the scan is unconfirmed, so widen the
+// sweep instead. Multi-stage networks produce one peak per resonant
+// tier, which is what validates a multi-domain stack's predicted
+// resonances against its transfer function.
+func LocalPeaks(pts []ImpedancePoint) []ImpedancePoint {
+	var peaks []ImpedancePoint
+	for i := 1; i < len(pts)-1; {
+		if pts[i].Ohms <= pts[i-1].Ohms {
+			i++
+			continue
+		}
+		// Risen above the left neighbour; absorb any plateau, then
+		// require a strict fall on the right.
+		j := i
+		for j+1 < len(pts) && pts[j+1].Ohms == pts[i].Ohms {
+			j++
+		}
+		if j+1 < len(pts) && pts[j+1].Ohms < pts[i].Ohms {
+			peaks = append(peaks, pts[(i+j)/2])
+		}
+		i = j + 1
+	}
+	return peaks
+}

@@ -1,0 +1,84 @@
+package circuit
+
+import "testing"
+
+func pts(vals ...float64) []ImpedancePoint {
+	out := make([]ImpedancePoint, len(vals))
+	for i, v := range vals {
+		out[i] = ImpedancePoint{FrequencyHz: float64(i + 1), Ohms: v}
+	}
+	return out
+}
+
+func peakFreqs(peaks []ImpedancePoint) []float64 {
+	out := make([]float64, len(peaks))
+	for i, p := range peaks {
+		out[i] = p.FrequencyHz
+	}
+	return out
+}
+
+func TestLocalPeaksShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []ImpedancePoint
+		want []float64 // expected peak frequencies (index+1)
+	}{
+		{"empty", nil, nil},
+		{"single", pts(1), nil},
+		{"monotonic-up", pts(1, 2, 3, 4), nil},
+		{"monotonic-down", pts(4, 3, 2, 1), nil},
+		{"one-peak", pts(1, 3, 1), []float64{2}},
+		{"two-peaks", pts(1, 3, 1, 5, 2), []float64{2, 4}},
+		{"plateau-peak", pts(1, 3, 3, 3, 1), []float64{3}},
+		{"plateau-shoulder-up", pts(1, 3, 3, 4, 1), []float64{4}},
+		{"endpoint-high", pts(5, 1, 2), nil},
+		{"valley-only", pts(3, 1, 3), nil},
+		{"three-peaks", pts(0, 2, 0, 4, 0, 3, 0), []float64{2, 4, 6}},
+	}
+	for _, tc := range cases {
+		got := peakFreqs(LocalPeaks(tc.in))
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: peaks at %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: peaks at %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestLocalPeaksAgreesWithGlobalPeak: on a single-resonance profile the
+// multi-peak scan finds exactly the global peak PeakImpedance reports.
+func TestLocalPeaksAgreesWithGlobalPeak(t *testing.T) {
+	sweep := Table1().ImpedanceSweep(10e6, 400e6, 2000)
+	peaks := LocalPeaks(sweep)
+	if len(peaks) != 1 {
+		t.Fatalf("Table 1 profile has %d local peaks, want 1", len(peaks))
+	}
+	if global := PeakImpedance(sweep); peaks[0] != global {
+		t.Errorf("local peak %+v != global peak %+v", peaks[0], global)
+	}
+}
+
+// TestLocalPeaksFindsBothTwoStagePeaks: the Section 2.2 two-stage
+// profile shows the low- and medium-frequency maxima as two separate
+// local peaks in one scan, where PeakImpedance alone reports only the
+// larger.
+func TestLocalPeaksFindsBothTwoStagePeaks(t *testing.T) {
+	p := Table1TwoStage()
+	peaks := LocalPeaks(p.ImpedanceSweep(100e3, 1e9, 4000))
+	if len(peaks) != 2 {
+		t.Fatalf("two-stage profile has %d local peaks (%v), want 2", len(peaks), peaks)
+	}
+	low, med := p.Peaks()
+	if r := peaks[0].FrequencyHz / low.FrequencyHz; r < 0.8 || r > 1.25 {
+		t.Errorf("first local peak at %.3g Hz, want near %.3g Hz", peaks[0].FrequencyHz, low.FrequencyHz)
+	}
+	if r := peaks[1].FrequencyHz / med.FrequencyHz; r < 0.8 || r > 1.25 {
+		t.Errorf("second local peak at %.3g Hz, want near %.3g Hz", peaks[1].FrequencyHz, med.FrequencyHz)
+	}
+}

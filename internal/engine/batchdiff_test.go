@@ -206,14 +206,16 @@ func kindSpecs(c diffCase) []Spec {
 }
 
 // TestBatchKernelMatchesScalarReference is the differential harness: all
-// seven registered technique kinds ride one lockstep group per
+// eight registered technique kinds ride one lockstep group per
 // (config, seed) cell and every lane must finish — resuming on a forked
 // machine when its decisions diverge — bit-identical to its scalar
 // reference run: the full observation stream, the full trace stream, and
-// the Result.
+// the Result. (Domain-tuning rides a single-domain machine here, which
+// covers its aggregate-sensor fallback; its multi-domain path has its
+// own scalar tests.)
 func TestBatchKernelMatchesScalarReference(t *testing.T) {
-	if len(Kinds()) != 7 {
-		t.Fatalf("expected 7 registered technique kinds, have %v", Kinds())
+	if len(Kinds()) != 8 {
+		t.Fatalf("expected 8 registered technique kinds, have %v", Kinds())
 	}
 	var lockstep, forked, regrouped uint64
 	for _, c := range diffMatrix(t) {

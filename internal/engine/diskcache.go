@@ -12,8 +12,10 @@ import (
 
 // diskCacheVersion guards the on-disk entry schema: bumping it after a
 // Result field change makes every old entry stale, so it is ignored and
-// rewritten instead of silently decoding into the wrong shape.
-const diskCacheVersion = 2
+// rewritten instead of silently decoding into the wrong shape. Version 3
+// marks the PDN generalization (sim.Config gained PDN and SensorDomain,
+// so every canonical encoding — and therefore every key — changed).
+const diskCacheVersion = 3
 
 // diskEntry is the JSON envelope of one cached result. JSON float64
 // encoding is shortest-round-trip, so a reloaded Result is bit-identical

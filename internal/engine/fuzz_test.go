@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/wavelet"
+	"repro/internal/circuit"
+	"repro/internal/tuning"
 	"repro/internal/workload"
 )
 
@@ -15,7 +17,7 @@ import (
 // unknown technique kind is unkeyable, and that consistently).
 func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float64, i1, i2 int) Spec {
 	s := Spec{App: app, Instructions: insts}
-	switch techSel % 8 {
+	switch techSel % 9 {
 	case 0: // base, left implicit
 	case 1:
 		s.Technique = TechniqueNone
@@ -67,12 +69,38 @@ func specFromFuzz(app string, insts uint64, techSel, variant uint8, f1, f2 float
 			db.Low.Detector.ThresholdAmps = f2
 			s.DualBand = &db
 		}
+	case 8:
+		s.Technique = TechniqueDomainTuning
+		if variant%2 == 1 {
+			pdn := circuit.NetworkConfig{Kind: circuit.NetworkMultiDomain}
+			dt := DefaultDomainTuningConfig(&pdn, i1)
+			dt.Domains[0].PhantomTargetAmps = f1
+			dt.Domains[len(dt.Domains)-1].Detector.ThresholdAmps = f2
+			s.DomainTuning = &dt
+		}
 	}
 	if variant%4 >= 2 {
 		cfg := *mustNormalize(Spec{App: app}).System
 		cfg.SensorDelayCycles = i2
 		cfg.Power.PeakWatts += f2
 		s.System = &cfg
+	}
+	// A PDN section, cycling through every registered network kind and
+	// attaching explicit (sometimes perturbed) parameters half the time;
+	// the key must fold it into the system section and stay total.
+	if variant%16 >= 8 {
+		kinds := circuit.NetworkKinds()
+		kind := kinds[((i1%len(kinds))+len(kinds))%len(kinds)]
+		pdn := circuit.NetworkConfig{Kind: kind}
+		if variant%2 == 1 && kind == circuit.NetworkMultiDomain {
+			p := circuit.Table1TwoDomain()
+			p.Lpkg += f1
+			pdn.MultiDomain = &p
+		}
+		s.PDN = &pdn
+		if s.System != nil {
+			s.System.SensorDomain = ((i2 % 3) + 3) % 3
+		}
 	}
 	if variant%8 >= 4 {
 		w := workload.Params{
@@ -121,6 +149,12 @@ func FuzzSpecKey(f *testing.F) {
 		"bzip", uint64(150_000), uint8(7), uint8(1), 70.0, 44.0, 25, 100)
 	f.Add("lowosc", uint64(120_000), uint8(7), uint8(5), 70.0, 40.0, 25, 4000,
 		"lowosc", uint64(120_000), uint8(0), uint8(5), 70.0, 40.0, 25, 4000)
+	// Domain-tuning sections and PDN-bearing variants (variant%16 ≥ 8
+	// attaches a PDN cycling through the registered network kinds).
+	f.Add("swim", uint64(100_000), uint8(8), uint8(9), 70.0, 40.0, 2, 1,
+		"swim", uint64(100_000), uint8(8), uint8(9), 70.0, 40.0, 2, 1)
+	f.Add("lucas", uint64(100_000), uint8(0), uint8(8), 0.0, 0.0, 0, 2,
+		"lucas", uint64(100_000), uint8(0), uint8(8), 0.0, 0.0, 1, 2)
 
 	f.Fuzz(func(t *testing.T,
 		appA string, instsA uint64, techA, varA uint8, f1A, f2A float64, i1A, i2A int,
@@ -177,6 +211,20 @@ func FuzzSpecKey(f *testing.F) {
 		if a.DualBand != nil {
 			db := *a.DualBand
 			aCopy.DualBand = &db
+		}
+		if a.DomainTuning != nil {
+			dt := *a.DomainTuning
+			dt.Domains = append([]tuning.Config(nil), dt.Domains...)
+			aCopy.DomainTuning = &dt
+		}
+		if a.PDN != nil {
+			p := *a.PDN
+			if p.MultiDomain != nil {
+				md := *p.MultiDomain
+				md.Domains = append([]circuit.DomainParams(nil), md.Domains...)
+				p.MultiDomain = &md
+			}
+			aCopy.PDN = &p
 		}
 		if a.Workload != nil {
 			w := *a.Workload

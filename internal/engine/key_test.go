@@ -144,13 +144,17 @@ func TestCanonicalCoversAllConfigFields(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{"engine.Spec", reflect.TypeOf(Spec{}), 12},
+		{"engine.Spec", reflect.TypeOf(Spec{}), 14},
 		{"engine.DualBandConfig", reflect.TypeOf(DualBandConfig{}), 3},
-		{"sim.Config", reflect.TypeOf(sim.Config{}), 7},
+		{"engine.DomainTuningConfig", reflect.TypeOf(DomainTuningConfig{}), 1},
+		{"sim.Config", reflect.TypeOf(sim.Config{}), 9},
 		{"cpu.Config", reflect.TypeOf(cpu.Config{}), 21},
 		{"power.Config", reflect.TypeOf(power.Config{}), 5},
 		{"circuit.Params", reflect.TypeOf(circuit.Params{}), 8},
 		{"circuit.TwoStageParams", reflect.TypeOf(circuit.TwoStageParams{}), 11},
+		{"circuit.NetworkConfig", reflect.TypeOf(circuit.NetworkConfig{}), 4},
+		{"circuit.MultiDomainParams", reflect.TypeOf(circuit.MultiDomainParams{}), 8},
+		{"circuit.DomainParams", reflect.TypeOf(circuit.DomainParams{}), 7},
 		{"tuning.Config", reflect.TypeOf(tuning.Config{}), 9},
 		{"tuning.DetectorConfig", reflect.TypeOf(tuning.DetectorConfig{}), 4},
 		{"voltctl.Config", reflect.TypeOf(voltctl.Config{}), 4},

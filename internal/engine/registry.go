@@ -196,7 +196,7 @@ func init() {
 				cc = *orig.Convolution
 			}
 			if cc.Supply == (circuit.Params{}) {
-				cc.Supply = n.System.Supply
+				cc.Supply = convolutionSupply(n.System)
 			}
 			// Resolve threshold/horizon/taps so explicit defaults and
 			// implied ones share one cache key; an unusable config is
@@ -280,6 +280,71 @@ func init() {
 			return sim.NewDualBandTuning(n.DualBand.Medium, n.DualBand.Low, n.DualBand.DecimationFactor), TraceHooks{}
 		},
 	})
+
+	// Per-domain resonance tuning over a multi-domain PDN: one
+	// medium-band controller per supply domain, each watching its own
+	// rail sensor, with the strongest response applied to the pipeline.
+	Register(Descriptor{
+		Kind:  TechniqueDomainTuning,
+		Clear: func(n *Spec) { n.DomainTuning = nil },
+		Normalize: func(orig, n *Spec, env Env) {
+			var dt DomainTuningConfig
+			if orig.DomainTuning != nil {
+				dt = *orig.DomainTuning
+				dt.Domains = append([]tuning.Config(nil), dt.Domains...)
+			} else {
+				dt = DefaultDomainTuningConfig(n.System.PDN, 100)
+			}
+			for d := range dt.Domains {
+				if dt.Domains[d].PhantomTargetAmps == 0 {
+					// The second-level response holds the aggregate mid
+					// current level (phantom targets are expressed in
+					// aggregate core amps on every machine).
+					dt.Domains[d].PhantomTargetAmps = env.MidAmps
+				}
+			}
+			n.DomainTuning = &dt
+		},
+		Validate: func(n *Spec) error {
+			nd := 1
+			if n.System.PDN != nil {
+				nd = n.System.PDN.DomainCount()
+			}
+			if len(n.DomainTuning.Domains) != nd {
+				return fmt.Errorf("engine: domain-tuning has %d controller configs for a %d-domain network", len(n.DomainTuning.Domains), nd)
+			}
+			for d := range n.DomainTuning.Domains {
+				if err := n.DomainTuning.Domains[d].Validate(); err != nil {
+					return fmt.Errorf("engine: domain-tuning domain %d: %w", d, err)
+				}
+			}
+			return nil
+		},
+		Section: func(n *Spec) any { return n.DomainTuning },
+		Build: func(n *Spec, env Env) (sim.Technique, TraceHooks) {
+			dt := sim.NewPerDomainTuning(n.DomainTuning.Domains)
+			return dt, TraceHooks{EventCount: dt.EventCount, Level: dt.Level}
+		},
+	})
+}
+
+// convolutionSupply picks the lumped supply the convolution predictor's
+// impulse response defaults to: the spec's own Supply when present, the
+// PDN's lumped parameters when the spec selects the lumped network kind
+// there instead, Table 1 otherwise (a PDN spec zeroes the legacy Supply
+// field, which must not leave the predictor with an unusable zero
+// network — the fallback keeps default resolution, and therefore Key,
+// total).
+func convolutionSupply(sys *sim.Config) circuit.Params {
+	if sys != nil {
+		if sys.Supply != (circuit.Params{}) {
+			return sys.Supply
+		}
+		if sys.PDN != nil && sys.PDN.Kind == circuit.NetworkLumped && sys.PDN.Lumped != nil {
+			return *sys.PDN.Lumped
+		}
+	}
+	return circuit.Table1()
 }
 
 // DefaultDualBandDecimation is the low-band sensor's decimation factor
@@ -294,6 +359,10 @@ const DefaultDualBandDecimation = 25
 func dualBandSupply(sys *sim.Config) circuit.TwoStageParams {
 	if sys != nil && sys.TwoStageSupply != nil && sys.TwoStageSupply.Validate() == nil {
 		return *sys.TwoStageSupply
+	}
+	if sys != nil && sys.PDN != nil && sys.PDN.Kind == circuit.NetworkTwoStage &&
+		sys.PDN.TwoStage != nil && sys.PDN.TwoStage.Validate() == nil {
+		return *sys.PDN.TwoStage
 	}
 	return circuit.Table1TwoStage()
 }

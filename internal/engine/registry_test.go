@@ -16,7 +16,7 @@ import (
 func TestKindsCoverAllTechniques(t *testing.T) {
 	want := []TechniqueKind{
 		TechniqueNone, TechniqueTuning, TechniqueVoltageControl, TechniqueDamping,
-		TechniqueConvolution, TechniqueWavelet, TechniqueDualBand,
+		TechniqueConvolution, TechniqueWavelet, TechniqueDualBand, TechniqueDomainTuning,
 	}
 	got := Kinds()
 	if len(got) != len(want) {

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/damping"
@@ -52,6 +53,10 @@ const (
 	// TechniqueDualBand is Section 2.2's dual-band resonance tuning:
 	// the medium-band controller plus a decimated low-band controller.
 	TechniqueDualBand TechniqueKind = "dual-band"
+	// TechniqueDomainTuning is per-domain resonance tuning over a
+	// multi-domain PDN: one medium-band controller per supply domain,
+	// each watching its own rail sensor.
+	TechniqueDomainTuning TechniqueKind = "domain-tuning"
 )
 
 // Spec describes one deterministic simulation run: the application, the
@@ -74,6 +79,11 @@ type Spec struct {
 
 	// System overrides the Table 1 system when non-nil.
 	System *sim.Config
+	// PDN selects a registered power-delivery-network model when
+	// non-nil. It is sugar for System.PDN (and overrides it): during
+	// normalization the section folds into the system configuration,
+	// which is its single canonical home in the cache key.
+	PDN *circuit.NetworkConfig
 	// Tuning overrides the paper's tuning configuration when non-nil
 	// (only used with TechniqueTuning).
 	Tuning *tuning.Config
@@ -93,6 +103,9 @@ type Spec struct {
 	// DualBand overrides the derived dual-band configuration when
 	// non-nil (only used with TechniqueDualBand).
 	DualBand *DualBandConfig
+	// DomainTuning overrides the derived per-domain tuning configuration
+	// when non-nil (only used with TechniqueDomainTuning).
+	DomainTuning *DomainTuningConfig
 
 	// Trace, when non-nil, receives every cycle's waveform point. A
 	// traced run always simulates — the callback's side effects cannot
@@ -116,6 +129,42 @@ type DualBandConfig struct {
 	// DecimationFactor is how many core cycles one low-band sample
 	// spans; zero means DefaultDualBandDecimation.
 	DecimationFactor int
+}
+
+// DomainTuningConfig configures per-domain resonance tuning over a
+// multi-domain PDN: one controller per supply domain, in domain order,
+// each fed by its domain's rail sensor. The machine applies the
+// strongest requested response to the shared pipeline.
+type DomainTuningConfig struct {
+	// Domains holds one controller configuration per PDN supply domain.
+	Domains []tuning.Config
+}
+
+// DefaultDomainTuningConfig derives the per-domain tuning configuration
+// for a PDN: the paper's Section 5.2 controller, with each domain's
+// detector band centred on that domain's die-level resonance (±20%, the
+// same band shape the dual-band low controller uses). A nil, non-multi-
+// domain, or unusable PDN yields a single controller with the paper's
+// Table 1 band, so default resolution — and therefore Key — stays total.
+func DefaultDomainTuningConfig(pdn *circuit.NetworkConfig, initialResponseCycles int) DomainTuningConfig {
+	base := DefaultTuningConfig(initialResponseCycles)
+	if pdn == nil {
+		return DomainTuningConfig{Domains: []tuning.Config{base}}
+	}
+	np, err := pdn.Normalized()
+	if err != nil || np.Kind != circuit.NetworkMultiDomain || np.MultiDomain.Validate() != nil {
+		return DomainTuningConfig{Domains: []tuning.Config{base}}
+	}
+	p := np.MultiDomain
+	out := DomainTuningConfig{Domains: make([]tuning.Config, len(p.Domains))}
+	for d := range p.Domains {
+		c := base
+		half := int(math.Round(p.ClockHz / p.Domains[d].ResonantFrequency() / 2))
+		c.Detector.HalfPeriodLo = half * 8 / 10
+		c.Detector.HalfPeriodHi = half * 12 / 10
+		out.Domains[d] = c
+	}
+	return out
 }
 
 // DefaultTuningConfig returns the paper's evaluated resonance-tuning
@@ -178,6 +227,31 @@ func (s Spec) normalized() (Spec, *Descriptor, error) {
 	if n.System != nil {
 		cfg = *n.System
 	}
+	// A spec-level PDN overrides the system's; System is the section's
+	// single canonical home, so the network participates in the system
+	// encoding exactly once and the spec-level field never reaches the
+	// key directly.
+	if n.PDN != nil {
+		p := *n.PDN
+		cfg.PDN = &p
+		n.PDN = nil
+	}
+	if cfg.PDN != nil {
+		if np, err := cfg.PDN.Normalized(); err == nil {
+			cfg.PDN = &np
+			// The network supersedes the legacy supply fields; zero
+			// them so equal networks encode equally regardless of what
+			// the caller left behind.
+			cfg.Supply = circuit.Params{}
+			cfg.TwoStageSupply = nil
+		} else {
+			// Unknown kind: keep the section raw (privately copied) so
+			// Key stays total; the error surfaces from Validate and
+			// Execute instead.
+			p := *cfg.PDN
+			cfg.PDN = &p
+		}
+	}
 	n.System = &cfg
 
 	desc, ok := lookupTechnique(n.Technique)
@@ -217,6 +291,14 @@ func (s Spec) Validate() error {
 		}
 	} else if _, err := workload.ByName(n.App); err != nil {
 		return err
+	}
+	if n.System.PDN != nil {
+		if err := n.System.PDN.Validate(); err != nil {
+			return err
+		}
+		if nd := n.System.PDN.DomainCount(); n.System.SensorDomain < 0 || n.System.SensorDomain > nd {
+			return fmt.Errorf("engine: sensor domain %d out of range for a %d-domain network", n.System.SensorDomain, nd)
+		}
 	}
 	if desc.Validate != nil {
 		if err := desc.Validate(&n); err != nil {

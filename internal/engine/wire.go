@@ -4,6 +4,7 @@ import (
 	"repro/internal/baselines/convctl"
 	"repro/internal/baselines/voltctl"
 	"repro/internal/baselines/wavelet"
+	"repro/internal/circuit"
 	"repro/internal/sim"
 	"repro/internal/tuning"
 	"repro/internal/workload"
@@ -25,13 +26,15 @@ type SpecWire struct {
 	Instructions   uint64           `json:"instructions,omitempty"`
 	Technique      string           `json:"technique,omitempty"`
 	Workload       *workload.Params `json:"workload,omitempty"`
-	System         *sim.Config      `json:"system,omitempty"`
-	Tuning         *tuning.Config   `json:"tuning,omitempty"`
-	VoltageControl *voltctl.Config  `json:"voltage_control,omitempty"`
-	Damping        *DampingConfig   `json:"damping,omitempty"`
-	Convolution    *convctl.Config  `json:"convolution,omitempty"`
-	Wavelet        *wavelet.Config  `json:"wavelet,omitempty"`
-	DualBand       *DualBandConfig  `json:"dual_band,omitempty"`
+	System         *sim.Config            `json:"system,omitempty"`
+	PDN            *circuit.NetworkConfig `json:"pdn,omitempty"`
+	Tuning         *tuning.Config         `json:"tuning,omitempty"`
+	VoltageControl *voltctl.Config        `json:"voltage_control,omitempty"`
+	Damping        *DampingConfig         `json:"damping,omitempty"`
+	Convolution    *convctl.Config        `json:"convolution,omitempty"`
+	Wavelet        *wavelet.Config        `json:"wavelet,omitempty"`
+	DualBand       *DualBandConfig        `json:"dual_band,omitempty"`
+	DomainTuning   *DomainTuningConfig    `json:"domain_tuning,omitempty"`
 }
 
 // Spec converts the wire form into an engine spec.
@@ -42,12 +45,14 @@ func (w SpecWire) Spec() Spec {
 		Technique:      TechniqueKind(w.Technique),
 		Workload:       w.Workload,
 		System:         w.System,
+		PDN:            w.PDN,
 		Tuning:         w.Tuning,
 		VoltageControl: w.VoltageControl,
 		Damping:        w.Damping,
 		Convolution:    w.Convolution,
 		Wavelet:        w.Wavelet,
 		DualBand:       w.DualBand,
+		DomainTuning:   w.DomainTuning,
 	}
 }
 
@@ -61,11 +66,13 @@ func WireSpec(s Spec) SpecWire {
 		Technique:      string(s.Technique),
 		Workload:       s.Workload,
 		System:         s.System,
+		PDN:            s.PDN,
 		Tuning:         s.Tuning,
 		VoltageControl: s.VoltageControl,
 		Damping:        s.Damping,
 		Convolution:    s.Convolution,
 		Wavelet:        s.Wavelet,
 		DualBand:       s.DualBand,
+		DomainTuning:   s.DomainTuning,
 	}
 }

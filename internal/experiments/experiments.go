@@ -75,7 +75,7 @@ type Report struct {
 	// Data holds the experiment's structured results: *Fig1cData,
 	// *Fig3Data, *Fig4Data, *Table2Data, *Table3Data, *Table4Data,
 	// *Table5Data, *Fig5Data, *AblationData, *RelatedData,
-	// *LowFreqData, *ScalingData, or *SpectrumData.
+	// *LowFreqData, *ScalingData, *SpectrumData, or *MultiDomainData.
 	Data any
 }
 
@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"lowfreq", "low-frequency resonance on the two-stage supply (Section 2.2)", LowFreq},
 		{"scaling", "technology-scaling trend: tuning vs resonant period (Section 3.2)", Scaling},
 		{"spectra", "per-application current spectra vs the resonance band", Spectra},
+		{"multidomain", "shared package resonance on the two-domain PDN with per-domain tuning", MultiDomain},
 	}
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/circuit"
 )
 
 // testOpts keeps experiment tests fast; classification-sensitive tests
@@ -20,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig1c", "fig3", "fig4", "table2", "table3", "table4", "table5", "fig5", "ablations", "related", "lowfreq", "scaling", "spectra"} {
+	for _, want := range []string{"fig1c", "fig3", "fig4", "table2", "table3", "table4", "table5", "fig5", "ablations", "related", "lowfreq", "scaling", "spectra", "multidomain"} {
 		if !ids[want] {
 			t.Errorf("missing experiment %s", want)
 		}
@@ -411,6 +413,70 @@ func TestScalingTrend(t *testing.T) {
 	}
 	if q0, q2 := data.Rows[0].QuarterPeriodCycles, data.Rows[2].QuarterPeriodCycles; q2 < 3*q0 {
 		t.Errorf("quarter period did not grow: %d → %d", q0, q2)
+	}
+}
+
+func TestMultiDomainSharedResonance(t *testing.T) {
+	rep, err := MultiDomain(testOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := rep.Data.(*MultiDomainData)
+	// The die-node profile must show one peak per resonant tier — at
+	// least two distinct resonances, one of them the shared package tier.
+	if len(data.Peaks) < 2 {
+		t.Fatalf("%d impedance peaks, want ≥ 2", len(data.Peaks))
+	}
+	pkgRes := circuit.Table1TwoDomain().PackageResonantFrequency()
+	foundPkg := false
+	for _, p := range data.Peaks {
+		if r := p.FrequencyHz / pkgRes; r > 0.7 && r < 1.4 {
+			foundPkg = true
+		}
+	}
+	if !foundPkg {
+		t.Errorf("no impedance peak near the %.1f MHz package resonance (peaks %+v)",
+			pkgRes/1e6, data.Peaks)
+	}
+	if len(data.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(data.Rows))
+	}
+	lumped, multiBase, tuned := data.Rows[0], data.Rows[1], data.Rows[2]
+	// The package-resonant workload is electrically invisible on the
+	// lumped model but violates heavily on the multi-domain stack.
+	if multiBase.Violations == 0 {
+		t.Fatal("no multi-domain base violations to prevent")
+	}
+	if float64(lumped.Violations) > 0.05*float64(multiBase.Violations) {
+		t.Errorf("lumped model sees %d violations vs %d multi-domain: not a multi-domain-only effect",
+			lumped.Violations, multiBase.Violations)
+	}
+	// Per-domain tuning prevents the vast majority of them.
+	if float64(tuned.Violations) > 0.25*float64(multiBase.Violations) {
+		t.Errorf("domain tuning left %d of %d violations", tuned.Violations, multiBase.Violations)
+	}
+	if tuned.Slowdown < 1.0 {
+		t.Errorf("domain tuning reports speedup %g", tuned.Slowdown)
+	}
+	// Each domain violates on its own rail, and each domain's controller
+	// both detects the oscillation and engages its response independently.
+	if len(data.Domains) < 2 {
+		t.Fatalf("%d domain rows, want ≥ 2", len(data.Domains))
+	}
+	for _, d := range data.Domains {
+		if d.BaseViolations == 0 {
+			t.Errorf("domain %s: no base violations on its rail", d.Name)
+		}
+		if d.Events == 0 {
+			t.Errorf("domain %s: controller never detected the oscillation", d.Name)
+		}
+		if d.ResponseCycles == 0 {
+			t.Errorf("domain %s: controller never engaged a response", d.Name)
+		}
+		if d.TunedViolations > d.BaseViolations {
+			t.Errorf("domain %s: tuning made things worse (%d → %d)",
+				d.Name, d.BaseViolations, d.TunedViolations)
+		}
 	}
 }
 

@@ -14,11 +14,12 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden report files under testdata/golden")
 
 // goldenIDs are the experiments pinned by golden reports: the analytic
-// impedance curve, the full-suite classification, and the headline
-// technique comparison. Together they cover the circuit model, the
-// workload generator, the base machine, and all three techniques — a
-// drift in any of them shows up as a golden diff.
-var goldenIDs = []string{"fig1c", "table2", "fig5"}
+// impedance curve, the full-suite classification, the headline
+// technique comparison, and the two-domain PDN scenario. Together they
+// cover the circuit models, the workload generator, the base machine,
+// all three techniques, and the multi-domain stack — a drift in any of
+// them shows up as a golden diff.
+var goldenIDs = []string{"fig1c", "table2", "fig5", "multidomain"}
 
 // goldenInstructions keeps the harness fast enough for every CI run; the
 // reports differ from the paper-scale ones only in magnitude, not in

@@ -1,0 +1,158 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// testCore returns a core running a bursty synthetic workload, for
+// driving the model with realistic activity sequences.
+func testCore(t *testing.T, insts uint64) *cpu.Core {
+	t.Helper()
+	app, err := workload.ByName("swim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu.New(cpu.DefaultConfig(), workload.NewGenerator(app.Params, insts))
+}
+
+func TestUnitByName(t *testing.T) {
+	for u := Unit(0); u < NumUnits; u++ {
+		got, ok := UnitByName(u.String())
+		if !ok || got != u {
+			t.Errorf("UnitByName(%q) = %v, %v", u.String(), got, ok)
+		}
+	}
+	if _, ok := UnitByName("flux"); ok {
+		t.Error("UnitByName accepted an unknown name")
+	}
+}
+
+func TestAssignmentFromNames(t *testing.T) {
+	assign, err := AssignmentFromNames([][]string{
+		{"frontend", "intalu"},
+		{"fpalu", "fpmul"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[UnitFrontend] != 0 || assign[UnitIntALU] != 0 {
+		t.Error("domain 0 units misassigned")
+	}
+	if assign[UnitFPALU] != 1 || assign[UnitFPMul] != 1 {
+		t.Error("domain 1 units misassigned")
+	}
+	if assign[UnitL2] != 0 {
+		t.Error("unlisted unit did not default to domain 0")
+	}
+	if _, err := AssignmentFromNames([][]string{{"quux"}}); err == nil {
+		t.Error("unknown unit name accepted")
+	}
+	if _, err := AssignmentFromNames([][]string{{"l1d"}, {"l1d"}}); err == nil {
+		t.Error("duplicate unit assignment accepted")
+	}
+}
+
+// twoDomainAssign splits the integer/front half from the FP/memory half,
+// mirroring circuit.Table1TwoDomain's PowerUnits lists.
+func twoDomainAssign(t *testing.T) [NumUnits]uint8 {
+	t.Helper()
+	assign, err := AssignmentFromNames([][]string{
+		{"frontend", "rename", "window", "regfile", "intalu", "intmul", "rob", "bus"},
+		{"fpalu", "fpmul", "l1d", "l2", "mem"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return assign
+}
+
+// TestDomainIdleAmpsSumToIdle: the per-domain floor split covers the
+// whole idle current.
+func TestDomainIdleAmpsSumToIdle(t *testing.T) {
+	m := New(DefaultConfig(), cpu.DefaultConfig())
+	m.EnableDomains(2, twoDomainAssign(t))
+	sum := m.DomainIdleAmps(0) + m.DomainIdleAmps(1)
+	if want := m.IdleAmps(); math.Abs(sum-want) > 1e-9*want {
+		t.Errorf("domain idle currents sum to %g A, want %g A", sum, want)
+	}
+	if s := m.DomainShare(0) + m.DomainShare(1); math.Abs(s-1) > 1e-12 {
+		t.Errorf("domain shares sum to %g, want 1", s)
+	}
+}
+
+// TestStepDomainsMatchesStepTotals: for an identical activity sequence,
+// the per-domain energies sum (per cycle, within rounding) to what the
+// single-domain Step reports, so splitting conserves energy.
+func TestStepDomainsMatchesStepTotals(t *testing.T) {
+	cc := cpu.DefaultConfig()
+	single := New(DefaultConfig(), cc)
+	multi := New(DefaultConfig(), cc)
+	multi.EnableDomains(2, twoDomainAssign(t))
+
+	core1 := testCore(t, 6000)
+	core2 := testCore(t, 6000)
+	domJ := make([]float64, 2)
+	for c := 0; c < 6000; c++ {
+		var a1, a2 cpu.Activity
+		core1.StepInto(cpu.Unlimited, &a1)
+		core2.StepInto(cpu.Unlimited, &a2)
+		want := single.Step(&a1, 0)
+		got := multi.StepDomains(&a2, domJ)
+		if math.Abs(got-want) > 1e-12*math.Max(want, 1) {
+			t.Fatalf("cycle %d: StepDomains total %g J, Step %g J", c, got, want)
+		}
+		if s := domJ[0] + domJ[1]; math.Abs(s-got) > 1e-18 {
+			t.Fatalf("cycle %d: domain energies sum to %g, total %g", c, s, got)
+		}
+	}
+}
+
+// TestStepDomainsForkBitIdentical: a forked multi-domain model replays
+// identical futures bit-identically and diverges independently.
+func TestStepDomainsForkBitIdentical(t *testing.T) {
+	cc := cpu.DefaultConfig()
+	m := New(DefaultConfig(), cc)
+	m.EnableDomains(2, twoDomainAssign(t))
+	core := testCore(t, 4000)
+	domJ := make([]float64, 2)
+	var act cpu.Activity
+	for c := 0; c < 1000; c++ {
+		core.StepInto(cpu.Unlimited, &act)
+		m.StepDomains(&act, domJ)
+	}
+	f := m.Fork()
+	coreF, err := core.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, 2)
+	b := make([]float64, 2)
+	for c := 0; c < 1000; c++ {
+		var actA, actB cpu.Activity
+		core.StepInto(cpu.Unlimited, &actA)
+		coreF.StepInto(cpu.Unlimited, &actB)
+		ea := m.StepDomains(&actA, a)
+		eb := f.StepDomains(&actB, b)
+		if ea != eb || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("cycle %d: fork domain energies %v (%g) != original %v (%g)", c, b, eb, a, ea)
+		}
+	}
+	// Diverge the fork with a burst of idle cycles; the original's ring
+	// must be untouched.
+	idle := cpu.Activity{}
+	ref := m.Fork()
+	f.StepDomains(&idle, b)
+	for c := 0; c < 100; c++ {
+		var act cpu.Activity
+		core.StepInto(cpu.Unlimited, &act)
+		ea := m.StepDomains(&act, a)
+		eb := ref.StepDomains(&act, b)
+		if ea != eb || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("cycle %d: original perturbed by fork divergence", c)
+		}
+	}
+}

@@ -228,6 +228,15 @@ type Model struct {
 	pending [spreadRing]float64
 	slot    int
 
+	// Multi-domain accounting (see EnableDomains in domains.go): unit →
+	// domain assignment, one spreading ring per domain, and the ungated
+	// floor split by each domain's budget share. nd stays zero — and the
+	// slices nil — on single-domain models.
+	nd         int
+	assign     [NumUnits]uint8
+	pendingDom [][]float64
+	floorDomJ  []float64
+
 	memo       []memoEntry
 	memoHits   uint64
 	memoMisses uint64
@@ -288,6 +297,13 @@ func (m *Model) Fork() *Model {
 	f := *m
 	f.memo = append([]memoEntry(nil), m.memo...)
 	f.memoHits, f.memoMisses, f.memoBypass = 0, 0, 0
+	if m.nd > 0 {
+		f.pendingDom = make([][]float64, m.nd)
+		for d := range f.pendingDom {
+			f.pendingDom[d] = append([]float64(nil), m.pendingDom[d]...)
+		}
+		f.floorDomJ = append([]float64(nil), m.floorDomJ...)
+	}
 	return &f
 }
 

@@ -1,0 +1,41 @@
+package sensor
+
+// Bank is a set of per-domain current sensors with a shared resolution
+// and delay: one MAGFET-style sensor at the root of each supply domain.
+// Each domain keeps its own delay pipe so the bank behaves exactly like
+// a Current sensor per rail.
+type Bank struct {
+	sensors []*Current
+}
+
+// NewBank returns a bank of `domains` current sensors. Non-positive
+// resolution means exact readings; zero delay means immediate ones,
+// matching Current's conventions.
+func NewBank(domains int, resolutionAmps float64, delayCycles int) *Bank {
+	b := &Bank{sensors: make([]*Current, domains)}
+	for d := range b.sensors {
+		s := &Current{ResolutionAmps: resolutionAmps, DelayCycles: delayCycles}
+		s.init()
+		b.sensors[d] = s
+	}
+	return b
+}
+
+// Domains returns the number of sensors in the bank.
+func (b *Bank) Domains() int { return len(b.sensors) }
+
+// Read quantises (and possibly delays) domain d's true current for this
+// cycle. Call exactly once per domain per cycle.
+func (b *Bank) Read(d int, trueAmps float64) float64 {
+	return b.sensors[d].Read(trueAmps)
+}
+
+// Fork returns an independent copy of the bank carrying every domain's
+// delay-pipe history, mirroring Current.Fork.
+func (b *Bank) Fork() *Bank {
+	f := &Bank{sensors: make([]*Current, len(b.sensors))}
+	for d, s := range b.sensors {
+		f.sensors[d] = s.Fork()
+	}
+	return f
+}

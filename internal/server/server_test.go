@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/engine"
 	"repro/internal/sim"
 )
@@ -79,6 +80,47 @@ func TestSingleSpecRun(t *testing.T) {
 		t.Errorf("key %q is not a full 32-byte hex content address", line.Key)
 	}
 	want, err := engine.Execute(engine.Spec{App: "swim", Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *line.Result != want {
+		t.Errorf("served result diverged from direct execution:\n%+v\n%+v", *line.Result, want)
+	}
+}
+
+// TestPDNRunOverWire: a spec selecting the multi-domain PDN and the
+// per-domain tuning technique travels the wire, validates, and serves a
+// result identical to direct execution — and the wire spec keys the same
+// as the equivalent in-process Spec (the PDN section folds into the
+// system on both paths).
+func TestPDNRunOverWire(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postRun(t, ts.URL,
+		`{"spec":{"app":"swim","instructions":30000,"technique":"domain-tuning","pdn":{"Kind":"multidomain"}}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	lines := decodeLines(t, resp.Body)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	line := lines[0]
+	if line.Error != "" || line.Result == nil {
+		t.Fatalf("line = %+v, want a result", line)
+	}
+	spec := engine.Spec{
+		App: "swim", Instructions: 30_000,
+		Technique: engine.TechniqueDomainTuning,
+		PDN:       &circuit.NetworkConfig{Kind: circuit.NetworkMultiDomain},
+	}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.Key != key.Hex() {
+		t.Errorf("wire spec keyed %s, direct spec %s", line.Key, key.Hex())
+	}
+	want, err := engine.Execute(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,6 +248,8 @@ func TestRequestValidation(t *testing.T) {
 		{"unknown field", `{"spec":{"app":"swim","warp_factor":9}}`, http.StatusBadRequest, "warp_factor"},
 		{"malformed json", `{"spec":`, http.StatusBadRequest, "bad request body"},
 		{"unknown technique", `{"spec":{"app":"swim","technique":"prayer"}}`, http.StatusBadRequest, "prayer"},
+		{"unknown network kind", `{"spec":{"app":"swim","pdn":{"Kind":"mesh"}}}`, http.StatusBadRequest, "registered kinds"},
+		{"sensor domain out of range", `{"spec":{"app":"swim","pdn":{"Kind":"multidomain"},"system":{"SensorDomain":7}}}`, http.StatusBadRequest, "sensor domain"},
 		{"unknown app in grid", `{"specs":[{"app":"swim"},{"app":"no-such-app"}]}`, http.StatusBadRequest, "spec 1"},
 		{"grid over limit", `{"specs":[{"app":"swim"},{"app":"lucas"},{"app":"art"}]}`, http.StatusRequestEntityTooLarge, "2-spec limit"},
 	}

@@ -19,15 +19,32 @@ import (
 	"repro/internal/workload"
 )
 
-// forkObs is one cycle's Observation flattened for value comparison.
+// forkMaxDomains bounds the flattened per-domain view; configs in this
+// file stay within it.
+const forkMaxDomains = 4
+
+// forkObs is one cycle's Observation flattened for value comparison:
+// the buffer pointers (Activity, PerDomain) are replaced with value
+// copies so == compares the cycle's data, not buffer identity.
 type forkObs struct {
-	obs Observation
-	act cpu.Activity
+	obs    Observation
+	act    cpu.Activity
+	nd     int
+	sensed [forkMaxDomains]float64
+	amps   [forkMaxDomains]float64
+	devs   [forkMaxDomains]float64
 }
 
 func flatObs(o *Observation) forkObs {
 	rec := forkObs{obs: *o, act: *o.Activity}
 	rec.obs.Activity = nil
+	if pd := o.PerDomain; pd != nil {
+		rec.obs.PerDomain = nil
+		rec.nd = len(pd.SensedAmps)
+		copy(rec.sensed[:], pd.SensedAmps)
+		copy(rec.amps[:], pd.Amps)
+		copy(rec.devs[:], pd.DeviationVolts)
+	}
 	return rec
 }
 
@@ -125,7 +142,10 @@ func runForkContract(t testing.TB, cfg Config, seed, forkCycle, insts uint64) {
 
 // forkConfigs is the deterministic configuration matrix: the default
 // single-stage supply, the two-stage supply with a delayed sensor (the
-// sensor history must travel with the fork), and a quantised capped run.
+// sensor history must travel with the fork), a quantised capped run, and
+// the two-domain PDN with delayed per-rail sensors (the network state,
+// per-domain power rings, and sensor bank must all travel with the
+// fork).
 func forkConfigs() map[string]Config {
 	twoStage := DefaultConfig()
 	ts := circuit.Table1TwoStage()
@@ -134,10 +154,15 @@ func forkConfigs() map[string]Config {
 	quantized := DefaultConfig()
 	quantized.SensorResolutionAmps = 2
 	quantized.MaxCycles = 2500
+	multi := DefaultConfig()
+	multi.PDN = &circuit.NetworkConfig{Kind: circuit.NetworkMultiDomain}
+	multi.SensorDelayCycles = 2
+	multi.MaxCycles = 2500
 	return map[string]Config{
-		"default":         DefaultConfig(),
-		"twostage-delay3": twoStage,
-		"quantized":       quantized,
+		"default":            DefaultConfig(),
+		"twostage-delay3":    twoStage,
+		"quantized":          quantized,
+		"multidomain-delay2": multi,
 	}
 }
 
@@ -204,13 +229,19 @@ func allDone(ms []*Machine, limit uint64) bool {
 // configuration, and requires the full bit-identity contract at every
 // point.
 func FuzzMachineFork(f *testing.F) {
-	f.Add(uint64(1), uint64(50), false, uint8(0), false)
-	f.Add(uint64(424242), uint64(0), true, uint8(2), true)
-	f.Add(uint64(7), uint64(2000), true, uint8(5), false)
-	f.Add(uint64(99), uint64(313), false, uint8(1), true)
-	f.Fuzz(func(t *testing.T, seed, forkCycle uint64, twoStage bool, delay uint8, quantize bool) {
+	f.Add(uint64(1), uint64(50), false, uint8(0), false, false)
+	f.Add(uint64(424242), uint64(0), true, uint8(2), true, false)
+	f.Add(uint64(7), uint64(2000), true, uint8(5), false, false)
+	f.Add(uint64(99), uint64(313), false, uint8(1), true, false)
+	f.Add(uint64(11), uint64(500), false, uint8(3), false, true)
+	f.Add(uint64(271828), uint64(64), false, uint8(0), true, true)
+	f.Fuzz(func(t *testing.T, seed, forkCycle uint64, twoStage bool, delay uint8, quantize, multiDomain bool) {
 		cfg := DefaultConfig()
-		if twoStage {
+		switch {
+		case multiDomain:
+			cfg.PDN = &circuit.NetworkConfig{Kind: circuit.NetworkMultiDomain}
+			cfg.SensorDomain = int(delay % 3) // 0 aggregate, 1-2 a rail
+		case twoStage:
 			ts := circuit.Table1TwoStage()
 			cfg.TwoStageSupply = &ts
 		}

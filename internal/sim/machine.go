@@ -22,11 +22,11 @@ import (
 // the original Simulator.StepCycle, so results are bit-identical to the
 // pre-split loop (pinned by the kernel's differential harness).
 type Machine struct {
-	cfg    Config
-	core   *cpu.Core
-	pwr    *power.Model
-	supply supplySim
-	sens   *sensor.Current
+	cfg  Config
+	core *cpu.Core
+	pwr  *power.Model
+	net  circuit.Network
+	sens *sensor.Current
 
 	classAmps [cpu.NumClasses]float64
 	// margin caches the supply's noise margin so the per-cycle violation
@@ -35,6 +35,25 @@ type Machine struct {
 	// instantiated when a reading delay makes real history necessary).
 	margin     float64
 	resolution float64
+
+	// draws and devs are the per-domain buffers handed to net.Step; on a
+	// single-domain machine they have length one and the legacy scalar
+	// arithmetic flows through them unchanged.
+	draws []float64
+	devs  []float64
+
+	// Multi-domain state, populated only when the PDN exposes more than
+	// one domain (nd > 1).
+	nd           int
+	sensorDomain int
+	domJ         []float64 // per-domain cycle energies from StepDomains
+	domShare     []float64 // per-domain phantom split weights
+	margins      []float64 // per-domain noise margins
+	bank         *sensor.Bank
+	domObs       DomainObservation // reused buffers behind obs.PerDomain
+	domViol      []uint64
+	domPeak      []float64
+	domSumAmps   []float64
 
 	act cpu.Activity // per-cycle activity buffer, reused to avoid copies
 	obs Observation  // per-cycle observation buffer, reused likewise
@@ -57,12 +76,14 @@ func NewMachine(cfg Config, src cpu.Source) (*Machine, error) {
 	if err := cfg.Power.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if err := cfg.Supply.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	if cfg.TwoStageSupply != nil {
-		if err := cfg.TwoStageSupply.Validate(); err != nil {
+	if cfg.PDN == nil {
+		if err := cfg.Supply.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if cfg.TwoStageSupply != nil {
+			if err := cfg.TwoStageSupply.Validate(); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
 		}
 	}
 	pwr := power.New(cfg.Power, cfg.CPU)
@@ -80,27 +101,102 @@ func NewMachine(cfg Config, src cpu.Source) (*Machine, error) {
 		sens = sensor.NewCurrentDelayed(cfg.SensorDelayCycles)
 		sens.ResolutionAmps = resolution
 	}
-	var supply supplySim
-	var margin float64
-	if cfg.TwoStageSupply != nil {
-		supply = circuit.NewTwoStageSimulator(*cfg.TwoStageSupply, pwr.IdleAmps())
-		margin = cfg.TwoStageSupply.NoiseMarginVolts()
-	} else {
-		supply = circuit.NewSimulator(cfg.Supply, pwr.IdleAmps())
-		margin = cfg.Supply.NoiseMarginVolts()
-	}
-	return &Machine{
+
+	m := &Machine{
 		cfg:        cfg,
 		core:       core,
 		pwr:        pwr,
-		supply:     supply,
 		sens:       sens,
 		classAmps:  pwr.ClassAmps(),
-		margin:     margin,
 		resolution: resolution,
 		minAmps:    math.Inf(1),
 		maxAmps:    math.Inf(-1),
-	}, nil
+	}
+	if err := m.buildNetwork(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildNetwork constructs the machine's PDN. Without a Config.PDN the
+// legacy Supply/TwoStageSupply fields pick the scalar simulator, wrapped
+// as a one-domain Network whose Step performs the identical arithmetic.
+// With one, the network registry resolves the kind; a multi-domain kind
+// additionally splits the power model per-domain (from the domains'
+// PowerUnits lists) and instantiates per-rail sensors.
+func (m *Machine) buildNetwork() error {
+	cfg := m.cfg
+	if cfg.PDN == nil {
+		if cfg.TwoStageSupply != nil {
+			m.net = circuit.WrapTwoStage(circuit.NewTwoStageSimulator(*cfg.TwoStageSupply, m.pwr.IdleAmps()))
+			m.margin = cfg.TwoStageSupply.NoiseMarginVolts()
+		} else {
+			m.net = circuit.WrapSimulator(circuit.NewSimulator(cfg.Supply, m.pwr.IdleAmps()))
+			m.margin = cfg.Supply.NoiseMarginVolts()
+		}
+		m.nd = 1
+		m.draws = make([]float64, 1)
+		m.devs = make([]float64, 1)
+		return nil
+	}
+
+	ncfg, err := cfg.PDN.Normalized()
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if err := ncfg.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	nd := ncfg.DomainCount()
+	if cfg.SensorDomain < 0 || cfg.SensorDomain > nd {
+		return fmt.Errorf("sim: sensor domain %d out of range for a %d-domain PDN", cfg.SensorDomain, nd)
+	}
+	i0 := make([]float64, nd)
+	if nd > 1 {
+		lists := make([][]string, nd)
+		for d, dp := range ncfg.MultiDomain.Domains {
+			lists[d] = dp.PowerUnits
+		}
+		assign, err := power.AssignmentFromNames(lists)
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		m.pwr.EnableDomains(nd, assign)
+		for d := range i0 {
+			i0[d] = m.pwr.DomainIdleAmps(d)
+		}
+	} else {
+		i0[0] = m.pwr.IdleAmps()
+	}
+	net, err := circuit.BuildNetwork(ncfg, i0)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	m.net = net
+	m.nd = nd
+	m.margin = net.DomainInfo(0).NoiseMarginVolts
+	m.draws = make([]float64, nd)
+	m.devs = make([]float64, nd)
+	if nd > 1 {
+		m.sensorDomain = cfg.SensorDomain
+		m.domJ = make([]float64, nd)
+		m.domShare = make([]float64, nd)
+		m.margins = make([]float64, nd)
+		for d := 0; d < nd; d++ {
+			m.domShare[d] = m.pwr.DomainShare(d)
+			m.margins[d] = net.DomainInfo(d).NoiseMarginVolts
+		}
+		m.bank = sensor.NewBank(nd, m.resolution, cfg.SensorDelayCycles)
+		m.domObs = DomainObservation{
+			SensedAmps:     make([]float64, nd),
+			Amps:           make([]float64, nd),
+			DeviationVolts: make([]float64, nd),
+		}
+		m.domViol = make([]uint64, nd)
+		m.domPeak = make([]float64, nd)
+		m.domSumAmps = make([]float64, nd)
+	}
+	return nil
 }
 
 // Fork returns a deep copy of the machine with a hard bit-identity
@@ -125,37 +221,38 @@ func (m *Machine) Fork() (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: fork: %w", err)
 	}
-	supply, err := forkSupply(m.supply)
-	if err != nil {
-		return nil, fmt.Errorf("sim: fork: %w", err)
-	}
 	f := *m
 	f.core = core
 	f.pwr = m.pwr.Fork()
-	f.supply = supply
+	f.net = m.net.Fork()
 	if m.sens != nil {
 		f.sens = m.sens.Fork()
 	}
-	// The observation buffer's Activity pointer must aim at the clone's
-	// own activity buffer, not the original's.
+	f.draws = append([]float64(nil), m.draws...)
+	f.devs = append([]float64(nil), m.devs...)
+	if m.nd > 1 {
+		f.domJ = append([]float64(nil), m.domJ...)
+		f.domShare = append([]float64(nil), m.domShare...)
+		f.margins = append([]float64(nil), m.margins...)
+		f.bank = m.bank.Fork()
+		f.domObs = DomainObservation{
+			SensedAmps:     append([]float64(nil), m.domObs.SensedAmps...),
+			Amps:           append([]float64(nil), m.domObs.Amps...),
+			DeviationVolts: append([]float64(nil), m.domObs.DeviationVolts...),
+		}
+		f.domViol = append([]uint64(nil), m.domViol...)
+		f.domPeak = append([]float64(nil), m.domPeak...)
+		f.domSumAmps = append([]float64(nil), m.domSumAmps...)
+	}
+	// The observation buffer's Activity and PerDomain pointers must aim
+	// at the clone's own buffers, not the original's.
 	if f.obs.Activity != nil {
 		f.obs.Activity = &f.act
 	}
-	return &f, nil
-}
-
-// forkSupply deep-copies a supply simulator. Every concrete supplySim
-// must be listed here; a new PDN model that is not will surface as a
-// fork error (and a scalar fallback in the batch kernel) rather than
-// silently shared state.
-func forkSupply(s supplySim) (supplySim, error) {
-	switch v := s.(type) {
-	case *circuit.Simulator:
-		return v.Fork(), nil
-	case *circuit.TwoStageSimulator:
-		return v.Fork(), nil
+	if f.obs.PerDomain != nil {
+		f.obs.PerDomain = &f.domObs
 	}
-	return nil, fmt.Errorf("supply %T is not forkable", s)
+	return &f, nil
 }
 
 // Config returns the machine's configuration.
@@ -188,7 +285,15 @@ func (m *Machine) CycleLimit() uint64 {
 // and phantom request and returns the cycle's Observation. The returned
 // pointer aims at a buffer Step reuses every cycle: read it before the
 // next Step, copy it to retain it.
+//
+// On a single-domain machine every operation below happens in the same
+// order as the pre-Network loop (net.Step forwards to the identical
+// scalar arithmetic), so results are bit-identical to it; multi-domain
+// machines take stepMulti.
 func (m *Machine) Step(throttle cpu.Throttle, ph Phantom) *Observation {
+	if m.nd > 1 {
+		return m.stepMulti(throttle, ph)
+	}
 	act := &m.act
 	m.core.StepInto(throttle, act)
 	coreJ := m.pwr.Step(act, 0)
@@ -206,7 +311,9 @@ func (m *Machine) Step(throttle cpu.Throttle, ph Phantom) *Observation {
 	}
 	totalAmps := coreAmps + phantomAmps
 
-	dev := m.supply.Step(totalAmps)
+	m.draws[0] = totalAmps
+	m.net.Step(m.draws, m.devs)
+	dev := m.devs[0]
 	a := dev
 	if a < 0 {
 		a = -a
@@ -253,6 +360,149 @@ func (m *Machine) Step(throttle cpu.Throttle, ph Phantom) *Observation {
 	}
 	m.cycles++
 	return &m.obs
+}
+
+// stepMulti is Step for machines whose PDN exposes several supply
+// domains: the power model splits the cycle's energy per domain, each
+// domain's draw (plus its budget-weighted share of any phantom current)
+// drives the network, and each rail is checked against its own noise
+// margin and sensed by its own sensor. The scalar Observation fields
+// keep their aggregate meanings — TotalAmps is the summed draw,
+// DeviationVolts the worst domain's deviation, SensedAmps the aggregate
+// (or the SensorDomain rail's) reading — so domain-oblivious techniques
+// keep working; domain-aware ones read Observation.PerDomain.
+func (m *Machine) stepMulti(throttle cpu.Throttle, ph Phantom) *Observation {
+	act := &m.act
+	m.core.StepInto(throttle, act)
+	coreJ := m.pwr.StepDomains(act, m.domJ)
+	coreAmps := m.pwr.CurrentAmps(coreJ)
+
+	phantomAmps := 0.0
+	switch {
+	case ph.TargetAmps > 0 && coreAmps < ph.TargetAmps:
+		phantomAmps = ph.TargetAmps - coreAmps
+	case ph.FireAmps > 0:
+		phantomAmps = ph.FireAmps
+	}
+	if phantomAmps > 0 {
+		m.phantomJ += phantomAmps * m.cfg.Power.Vdd / m.cfg.Power.ClockHz
+	}
+	totalAmps := coreAmps + phantomAmps
+
+	for d := 0; d < m.nd; d++ {
+		m.draws[d] = m.pwr.CurrentAmps(m.domJ[d]) + phantomAmps*m.domShare[d]
+	}
+	m.net.Step(m.draws, m.devs)
+
+	// Worst-domain deviation carries the scalar field; violations count
+	// cycles on which any domain leaves its margin, so the aggregate
+	// Result stays comparable with single-domain runs.
+	worst, worstAbs := 0.0, -1.0
+	anyViolation := false
+	for d := 0; d < m.nd; d++ {
+		dev := m.devs[d]
+		a := math.Abs(dev)
+		if a > m.domPeak[d] {
+			m.domPeak[d] = a
+		}
+		if a > m.margins[d] {
+			m.domViol[d]++
+			anyViolation = true
+		}
+		if a > worstAbs {
+			worstAbs, worst = a, dev
+		}
+	}
+	if worstAbs > m.peakDev {
+		m.peakDev = worstAbs
+	}
+	if anyViolation {
+		m.violation++
+	}
+
+	est := 0.0
+	for cl := cpu.Class(0); cl < cpu.NumClasses; cl++ {
+		if n := act.Issued[cl]; n > 0 {
+			est += float64(n) * m.classAmps[cl]
+		}
+	}
+
+	for d := 0; d < m.nd; d++ {
+		m.domObs.SensedAmps[d] = m.bank.Read(d, m.draws[d])
+		m.domObs.Amps[d] = m.draws[d]
+		m.domObs.DeviationVolts[d] = m.devs[d]
+		m.domSumAmps[d] += m.draws[d]
+	}
+	var sensed float64
+	switch {
+	case m.sensorDomain > 0:
+		sensed = m.domObs.SensedAmps[m.sensorDomain-1]
+	case m.sens != nil:
+		sensed = m.sens.Read(totalAmps)
+	case m.resolution > 0:
+		sensed = math.Round(totalAmps/m.resolution) * m.resolution
+	default:
+		sensed = totalAmps
+	}
+
+	m.sumAmps += totalAmps
+	if totalAmps < m.minAmps {
+		m.minAmps = totalAmps
+	}
+	if totalAmps > m.maxAmps {
+		m.maxAmps = totalAmps
+	}
+	m.obs = Observation{
+		Cycle:          m.cycles,
+		SensedAmps:     sensed,
+		TotalAmps:      totalAmps,
+		DeviationVolts: worst,
+		IssuedEstAmps:  est,
+		Activity:       act,
+		PerDomain:      &m.domObs,
+	}
+	m.cycles++
+	return &m.obs
+}
+
+// Network exposes the machine's power-delivery network.
+func (m *Machine) Network() circuit.Network { return m.net }
+
+// Domains returns the PDN's supply-domain count (one on legacy
+// machines).
+func (m *Machine) Domains() int { return m.nd }
+
+// DomainStat summarises one supply domain's run.
+type DomainStat struct {
+	// Name labels the domain (circuit.DomainInfo.Name).
+	Name string
+	// Violations counts cycles this domain left its noise margin.
+	Violations uint64
+	// PeakDeviationV is the domain's worst absolute deviation.
+	PeakDeviationV float64
+	// MeanAmps is the domain's average draw.
+	MeanAmps float64
+}
+
+// DomainStats reports each supply domain's violation and current
+// statistics; it returns nil on single-domain machines (the aggregate
+// Result already tells the whole story there).
+func (m *Machine) DomainStats() []DomainStat {
+	if m.nd <= 1 {
+		return nil
+	}
+	out := make([]DomainStat, m.nd)
+	for d := 0; d < m.nd; d++ {
+		out[d] = DomainStat{
+			Name:           m.net.DomainInfo(d).Name,
+			Violations:     m.domViol[d],
+			PeakDeviationV: m.domPeak[d],
+		}
+		if m.cycles > 0 {
+			out[d].MeanAmps = m.domSumAmps[d] / float64(m.cycles)
+		}
+	}
+	return out
 }
 
 // Result summarises the run so far under the given labels. The Tech

@@ -19,14 +19,6 @@ import (
 	"repro/internal/power"
 )
 
-// supplySim is the power-distribution-network behaviour the loop needs;
-// both the single-stage Figure 1(b) model and the two-stage Section 2.2
-// model satisfy it.
-type supplySim interface {
-	Step(icpu float64) float64
-	Violated(dev float64) bool
-}
-
 // Phantom describes the phantom-operation current a technique wants this
 // cycle. At most one of the fields is non-zero.
 type Phantom struct {
@@ -56,6 +48,25 @@ type Observation struct {
 	// buffer the simulator reuses every cycle: read it during Observe,
 	// copy it to retain it.
 	Activity *cpu.Activity
+	// PerDomain carries the per-domain view of the cycle on machines
+	// whose PDN exposes more than one supply domain; it is nil on
+	// single-domain machines, which keeps Observation comparable with ==
+	// there (the fork and batch differential harnesses rely on that).
+	// Like Activity it points into a buffer reused every cycle.
+	PerDomain *DomainObservation
+}
+
+// DomainObservation is the per-supply-domain slice of an Observation:
+// index d describes domain d of the machine's PDN. The slices are
+// buffers the machine reuses every cycle — read during Observe, copy to
+// retain.
+type DomainObservation struct {
+	// SensedAmps is each domain's current as its rail sensor reports it.
+	SensedAmps []float64
+	// Amps is each domain's true draw including its phantom share.
+	Amps []float64
+	// DeviationVolts is each domain's true supply deviation.
+	DeviationVolts []float64
 }
 
 // Technique is an inductive-noise control scheme plugged into the loop.
@@ -81,6 +92,12 @@ type Config struct {
 	// two-loop network of Section 2.2, exhibiting both the low- and
 	// medium-frequency resonances.
 	TwoStageSupply *circuit.TwoStageParams
+	// PDN, when non-nil, supersedes Supply and TwoStageSupply: the
+	// power-delivery network is built from the registered network kind it
+	// selects. A multi-domain kind splits the power model's current
+	// per-domain (by unit assignment), senses each rail separately, and
+	// checks each domain against its own noise margin.
+	PDN *circuit.NetworkConfig
 	// SensorDelayCycles delays the current sensor readings fed to the
 	// technique (resonance tuning tolerates several cycles).
 	SensorDelayCycles int
@@ -88,6 +105,11 @@ type Config struct {
 	// zero means the paper's whole-amp sensors. Negative means exact
 	// readings.
 	SensorResolutionAmps float64
+	// SensorDomain selects which supply domain the scalar SensedAmps
+	// observation reports on a multi-domain PDN: zero (the default) is
+	// the aggregate core current, d ≥ 1 is domain d-1's rail sensor.
+	// Ignored on single-domain machines.
+	SensorDomain int
 	// MaxCycles bounds the simulation; zero means a generous default
 	// derived from the instruction stream (guards against livelock).
 	MaxCycles uint64

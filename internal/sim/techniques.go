@@ -291,3 +291,114 @@ func (t *DualBandTuning) MediumStats() tuning.Stats { return t.medium.Stats() }
 // LowStats returns the low-band controller's statistics (cycle counts in
 // decimated units).
 func (t *DualBandTuning) LowStats() tuning.Stats { return t.low.Stats() }
+
+// PerDomainTuning applies resonance tuning independently per supply
+// domain of a multi-domain PDN: one controller per domain, each fed its
+// own rail's sensed current, so a resonating domain is detected and
+// answered even when the aggregate current looks calm (and vice versa —
+// in-phase domains exciting the shared package tier raise every rail's
+// swing, which each domain's detector sees in its own band). The
+// pipeline is shared, so the strongest domain response drives the
+// throttle and phantom request each cycle.
+//
+// Per-domain PhantomTargetAmps are expressed in aggregate core amps (the
+// machine splits phantom current across domains by budget share), so the
+// usual mid-level target works unchanged.
+type PerDomainTuning struct {
+	ctrls []*tuning.Controller
+	next  []tuning.Response
+}
+
+// NewPerDomainTuning builds one controller per domain configuration (at
+// least one).
+func NewPerDomainTuning(cfgs []tuning.Config) *PerDomainTuning {
+	if len(cfgs) == 0 {
+		panic("sim.NewPerDomainTuning: need at least one domain configuration")
+	}
+	t := &PerDomainTuning{
+		ctrls: make([]*tuning.Controller, len(cfgs)),
+		next:  make([]tuning.Response, len(cfgs)),
+	}
+	for d, cfg := range cfgs {
+		t.ctrls[d] = tuning.NewController(cfg)
+		t.next[d] = tuning.Response{Throttle: cpu.Unlimited}
+	}
+	return t
+}
+
+// Name implements Technique.
+func (t *PerDomainTuning) Name() string { return "per-domain-tuning" }
+
+// Next implements Technique: the strongest domain's response applies.
+func (t *PerDomainTuning) Next() (cpu.Throttle, Phantom) {
+	r := t.next[0]
+	for _, n := range t.next[1:] {
+		if n.Level > r.Level {
+			r = n
+		}
+	}
+	return r.Throttle, Phantom{TargetAmps: r.PhantomTargetAmps}
+}
+
+// Observe implements Technique: each controller sees its own domain's
+// sensed current. On a single-domain machine (no PerDomain view) every
+// controller falls back to the aggregate sensed current.
+func (t *PerDomainTuning) Observe(obs *Observation) {
+	if pd := obs.PerDomain; pd != nil {
+		for d := range t.ctrls {
+			amps := obs.SensedAmps
+			if d < len(pd.SensedAmps) {
+				amps = pd.SensedAmps[d]
+			}
+			t.next[d] = t.ctrls[d].Step(amps)
+		}
+		return
+	}
+	for d := range t.ctrls {
+		t.next[d] = t.ctrls[d].Step(obs.SensedAmps)
+	}
+}
+
+// DomainStats returns each domain controller's statistics.
+func (t *PerDomainTuning) DomainStats() []tuning.Stats {
+	out := make([]tuning.Stats, len(t.ctrls))
+	for d, c := range t.ctrls {
+		out[d] = c.Stats()
+	}
+	return out
+}
+
+// TechStats implements the Result accounting hook: controller cycles are
+// per machine cycle (every controller observes each cycle exactly once),
+// response cycles sum over domains so concurrent per-domain responses
+// are visible in the aggregate.
+func (t *PerDomainTuning) TechStats() TechStats {
+	st := TechStats{ControllerCycles: t.ctrls[0].Stats().Cycles}
+	for _, c := range t.ctrls {
+		s := c.Stats()
+		st.FirstLevelCycles += s.FirstLevelCycles
+		st.SecondLevelCycles += s.SecondLevelCycles
+	}
+	st.ResponseCycles = st.FirstLevelCycles + st.SecondLevelCycles
+	return st
+}
+
+// EventCount returns the summed resonant event count (for traces).
+func (t *PerDomainTuning) EventCount() int {
+	n := 0
+	for _, c := range t.ctrls {
+		n += c.Detector().CountNow()
+	}
+	return n
+}
+
+// Level returns the strongest active response level (for traces).
+func (t *PerDomainTuning) Level() int {
+	lv := tuning.LevelNone
+	for _, n := range t.next {
+		if n.Level > lv {
+			lv = n.Level
+		}
+	}
+	return int(lv)
+}

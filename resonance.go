@@ -81,6 +81,15 @@ type (
 	WaveletConfig = wavelet.Config
 	// DualBandConfig parameterises dual-band resonance tuning (§2.2).
 	DualBandConfig = engine.DualBandConfig
+	// NetworkConfig selects which power-distribution network a run
+	// simulates (lumped RLC, two-stage, or multi-domain).
+	NetworkConfig = circuit.NetworkConfig
+	// MultiDomainParams describes a multi-domain PDN stack: per-domain
+	// die networks under shared package and board tiers.
+	MultiDomainParams = circuit.MultiDomainParams
+	// DomainTuningConfig parameterises per-domain resonance tuning (one
+	// controller per supply domain).
+	DomainTuningConfig = engine.DomainTuningConfig
 	// App is one synthetic SPEC2K application model.
 	App = workload.App
 	// Options tunes experiment execution.
@@ -134,6 +143,9 @@ const (
 	TechniqueWavelet = engine.TechniqueWavelet
 	// TechniqueDualBand is Section 2.2's dual-band resonance tuning.
 	TechniqueDualBand = engine.TechniqueDualBand
+	// TechniqueDomainTuning runs one resonance-tuning controller per
+	// supply domain of a multi-domain PDN.
+	TechniqueDomainTuning = engine.TechniqueDomainTuning
 )
 
 // TechniqueKinds returns every registered technique kind, in the
@@ -306,6 +318,23 @@ type TwoStageParams = circuit.TwoStageParams
 // representative off-chip stage, placing the low-frequency peak near
 // 4 MHz.
 func TwoStageSupply() TwoStageParams { return circuit.Table1TwoStage() }
+
+// TwoDomainPDN returns the Table 1 processor split into core and
+// floating-point/memory supply domains under shared package and board
+// tiers — the reference multi-domain power-distribution network. Select
+// it for a run via SimulationSpec.PDN:
+//
+//	pdn := resonance.TwoDomainPDN()
+//	spec.PDN = &resonance.NetworkConfig{Kind: "multidomain", MultiDomain: &pdn}
+func TwoDomainPDN() MultiDomainParams { return circuit.Table1TwoDomain() }
+
+// DefaultDomainTuningConfig derives the per-domain tuning configuration
+// the domain-tuning technique uses when a spec leaves it unset: one
+// controller per domain of the spec's PDN, each parameterised from its
+// own domain's electrical constants.
+func DefaultDomainTuningConfig(pdn *NetworkConfig, initialResponseCycles int) DomainTuningConfig {
+	return engine.DefaultDomainTuningConfig(pdn, initialResponseCycles)
+}
 
 // AutoTuningConfig designs a resonance-tuning configuration for an
 // arbitrary supply from first principles: it derives the detector band

@@ -108,7 +108,7 @@ func TestDefaultTuningConfigMatchesPaper(t *testing.T) {
 }
 
 func TestExperimentRegistryExposed(t *testing.T) {
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Errorf("%d experiments", len(Experiments()))
 	}
 	rep, err := RunExperiment("fig1c", Options{})
